@@ -1,0 +1,24 @@
+"""Table 1: serialized network messages for stores (exact reproduction)."""
+
+from repro.harness.report import render_table
+from repro.harness.table1 import TABLE1_EXPECTED, run_table1
+
+from .conftest import publish
+
+
+def test_table1(benchmark):
+    measured = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    rows = [
+        [label, TABLE1_EXPECTED[label], measured[label]]
+        for label in TABLE1_EXPECTED
+    ]
+    publish(
+        "table1",
+        render_table(
+            ["store target", "paper", "measured"],
+            rows,
+            title="Table 1: serialized network messages per store",
+        ),
+    )
+    assert measured == TABLE1_EXPECTED

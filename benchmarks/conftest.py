@@ -1,0 +1,38 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+paper's machine (64 nodes by default), prints it, and writes the rendered
+text to ``benchmarks/results/``.  Scale knobs are environment variables so
+CI or laptops can shrink the runs:
+
+* ``REPRO_BENCH_NODES``  — machine size (default 64, the paper's).
+* ``REPRO_BENCH_TURNS``  — synthetic-app turns per panel (default 6).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro import SimConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "64"))
+BENCH_TURNS = int(os.environ.get("REPRO_BENCH_TURNS", "6"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SimConfig:
+    """The paper's machine (or a scaled-down one via env vars)."""
+    return SimConfig().with_nodes(BENCH_NODES)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

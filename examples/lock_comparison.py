@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare lock algorithms and primitive implementations under load.
+
+Reproduces the flavour of the paper's Figures 4 and 5 in one script: a
+shared counter protected by a test-and-test-and-set lock (with bounded
+exponential backoff) or an MCS queue lock, with the lock's atomic
+operations implemented by each primitive family and coherence policy.
+
+Run:  python examples/lock_comparison.py
+"""
+
+from repro import SimConfig, SyncPolicy, build_machine
+from repro.sync import McsLock, PrimitiveVariant, TtsLock
+
+NODES = 16
+ITERS = 6
+
+VARIANTS = [
+    PrimitiveVariant("fap", SyncPolicy.INV),
+    PrimitiveVariant("cas", SyncPolicy.INV),
+    PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True),
+    PrimitiveVariant("llsc", SyncPolicy.INV),
+    PrimitiveVariant("fap", SyncPolicy.UPD),
+    PrimitiveVariant("fap", SyncPolicy.UNC),
+]
+
+
+def run_lock(lock_kind: str, variant: PrimitiveVariant) -> float:
+    """Run all processors hammering one lock; return cycles per acquire."""
+    machine = build_machine(SimConfig().with_nodes(NODES))
+    if lock_kind == "tts":
+        lock = TtsLock(machine, variant, home=0)
+    else:
+        lock = McsLock(machine, variant, home=0)
+    counter = machine.alloc_data(1)
+
+    def program(p):
+        for _ in range(ITERS):
+            yield from lock.acquire(p)
+            value = yield p.load(counter)
+            yield p.store(counter, value + 1)
+            yield from lock.release(p)
+            yield p.think(p.rng.randrange(100))
+
+    machine.spawn_all(program)
+    machine.run()
+    acquires = NODES * ITERS
+    assert machine.read_word(counter) == acquires
+    return machine.now / acquires
+
+
+def main() -> None:
+    print(f"Cycles per lock acquire/release ({NODES} processors, "
+          f"all contending):\n")
+    print(f"{'variant':16s} {'TTS lock':>10s} {'MCS lock':>10s}")
+    for variant in VARIANTS:
+        if variant.family == "llsc":
+            note = "  (LL/SC simulates CAS & swap in MCS)"
+        elif variant.use_lx:
+            note = "  (paper's recommendation)"
+        else:
+            note = ""
+        tts = run_lock("tts", variant)
+        mcs = run_lock("mcs", variant)
+        print(f"{variant.label:16s} {tts:10.0f} {mcs:10.0f}{note}")
+
+    print(
+        "\nNote how the MCS queue lock's cost stays flat across variants\n"
+        "(each waiter spins on a flag in its own local memory), while the\n"
+        "TTS lock's cost tracks the coherence policy of the lock variable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Lock-free objects on the simulated multiprocessor.
+
+Runs the Treiber stack and the Michael & Scott FIFO queue under
+concurrent producers and consumers, records full operation histories,
+and validates them with the library's checkers — demonstrating the
+lock-free programming the paper's universal primitives exist for.
+
+Run:  python examples/lockfree_structures.py
+"""
+
+from repro import SimConfig, SyncPolicy, build_machine
+from repro.sync import EMPTY, LockFreeQueue, PrimitiveVariant, TreiberStack
+from repro.verify import (
+    History,
+    check_queue_history,
+    check_stack_history,
+)
+
+NODES = 16
+ITEMS_PER_PRODUCER = 8
+
+
+def run_structure(kind: str, family: str) -> tuple[int, int]:
+    """Run producers/consumers against one structure; verify; report."""
+    machine = build_machine(SimConfig().with_nodes(NODES))
+    variant = PrimitiveVariant(family, SyncPolicy.INV)
+    if kind == "stack":
+        structure = TreiberStack(machine, variant, capacity=512)
+        insert, remove, ins_op, rem_op = (
+            structure.push, structure.pop, "push", "pop")
+    else:
+        structure = LockFreeQueue(machine, variant, capacity=512)
+        insert, remove, ins_op, rem_op = (
+            structure.enqueue, structure.dequeue, "enq", "deq")
+    history = History(machine)
+    producers = NODES // 2
+
+    def producer(p):
+        for i in range(ITEMS_PER_PRODUCER):
+            item = p.pid * 1000 + i
+            yield from history.wrap(p, ins_op, item, insert(p, item))
+            yield p.think(p.rng.randrange(50))
+
+    def consumer(p):
+        taken = 0
+        while taken < ITEMS_PER_PRODUCER:
+            value = yield from history.wrap(p, rem_op, None, remove(p))
+            if value is EMPTY:
+                yield p.think(25)
+            else:
+                taken += 1
+
+    for pid in range(producers):
+        machine.spawn(pid, producer)
+    for pid in range(producers, NODES):
+        machine.spawn(pid, consumer)
+    machine.run(max_events=50_000_000)
+
+    if kind == "stack":
+        check_stack_history(history)
+    else:
+        check_queue_history(history)
+    return machine.now, len(history)
+
+
+def main() -> None:
+    print(f"{NODES} processors: {NODES // 2} producers, "
+          f"{NODES // 2} consumers, "
+          f"{ITEMS_PER_PRODUCER} items each.\n")
+    print(f"{'structure':22s} {'cycles':>9s} {'operations':>11s}")
+    for kind in ("stack", "queue"):
+        for family in ("cas", "llsc"):
+            cycles, ops = run_structure(kind, family)
+            name = f"{kind} ({family.upper()})"
+            print(f"{name:22s} {cycles:9d} {ops:11d}")
+    print(
+        "\nEvery history passed the conservation and ordering checkers:\n"
+        "no element was lost, duplicated, or reordered within a producer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Run the paper's Transitive Closure application (Figure 1).
+
+Computes the reachability closure of a random directed graph on the
+simulated multiprocessor, distributing row chunks through a lock-free
+counter, and compares fetch_and_add against its compare_and_swap and
+LL/SC simulations — the experiment behind the paper's high-contention
+findings.
+
+Run:  python examples/transitive_closure.py
+"""
+
+from repro import SimConfig, SyncPolicy
+from repro.apps import run_transitive_closure
+from repro.sync import PrimitiveVariant
+
+VARIANTS = [
+    PrimitiveVariant("fap", SyncPolicy.UNC),
+    PrimitiveVariant("fap", SyncPolicy.INV),
+    PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True),
+    PrimitiveVariant("llsc", SyncPolicy.INV),
+    PrimitiveVariant("fap", SyncPolicy.UPD),
+]
+
+
+def main() -> None:
+    config = SimConfig().with_nodes(16)
+    size = 24
+
+    print(f"Transitive closure of a {size}-vertex graph on 16 processors.")
+    print("The parallel result is checked against sequential "
+          "Floyd-Warshall.\n")
+    print(f"{'counter variant':18s} {'total cycles':>12s} "
+          f"{'mean contention':>16s} {'write-run':>10s}")
+
+    for variant in VARIANTS:
+        result = run_transitive_closure(variant, size=size, config=config)
+        print(f"{variant.label:18s} {result.cycles:12d} "
+              f"{result.extra['mean_contention']:16.2f} "
+              f"{result.write_run:10.2f}")
+
+    print(
+        "\nEvery processor hits the chunk counter right after each"
+        "\nbarrier, so contention is high — the regime where the paper"
+        "\nfinds uncached fetch_and_add most valuable."
+    )
+
+
+if __name__ == "__main__":
+    main()

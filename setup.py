@@ -1,0 +1,15 @@
+"""Setuptools shim for environments without PEP 517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Michael & Scott (HPCA '95): atomic primitives on "
+        "DSM multiprocessors"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,70 @@
+"""repro — a reproduction of Michael & Scott (HPCA 1995).
+
+*Implementation of Atomic Primitives on Distributed Shared Memory
+Multiprocessors.*
+
+The package provides a cycle-level simulator of a 64-node directory-based
+DSM multiprocessor (queued memory, 2-D wormhole mesh) together with every
+atomic-primitive implementation the paper evaluates — fetch_and_phi,
+compare_and_swap (INV / INVd / INVs / UPD / UNC), and
+load_linked / store_conditional — plus the auxiliary ``load_exclusive``
+and ``drop_copy`` instructions, a synchronization-algorithm library, the
+paper's applications, and a harness regenerating each of its tables and
+figures.
+
+Quickstart::
+
+    from repro import build_machine, SimConfig, SyncPolicy
+
+    machine = build_machine(SimConfig().with_nodes(16))
+    counter = machine.alloc_sync(SyncPolicy.INV, home=0)
+
+    def program(p, counter):
+        for _ in range(8):
+            yield p.fetch_add(counter, 1)
+
+    machine.spawn_all(program, counter)
+    machine.run()
+    assert machine.read_word(counter) == 16 * 8
+"""
+
+from .config import SimConfig, MachineConfig, TimingConfig, small_config
+from .coherence.policy import SyncPolicy
+from .machine.machine import Machine, build_machine
+from .primitives.ops import CasResult, LLValue
+from .primitives.semantics import PhiOp, apply_phi
+from .processor.api import Proc
+from .errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    ProtocolError,
+    AddressError,
+    DeadlockError,
+    ProgramError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "MachineConfig",
+    "TimingConfig",
+    "small_config",
+    "SyncPolicy",
+    "Machine",
+    "build_machine",
+    "CasResult",
+    "LLValue",
+    "PhiOp",
+    "apply_phi",
+    "Proc",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ProtocolError",
+    "AddressError",
+    "DeadlockError",
+    "ProgramError",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Applications: the paper's synthetic and real workloads."""
+
+from .common import AppResult
+from .synthetic import (
+    SyntheticSpec,
+    run_lockfree_counter,
+    run_tts_counter,
+    run_mcs_counter,
+)
+from .tclosure import run_transitive_closure
+from .locusroute import run_locusroute
+from .cholesky import run_cholesky
+
+__all__ = [
+    "AppResult",
+    "SyntheticSpec",
+    "run_lockfree_counter",
+    "run_tts_counter",
+    "run_mcs_counter",
+    "run_transitive_closure",
+    "run_locusroute",
+    "run_cholesky",
+]

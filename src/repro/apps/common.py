@@ -1,0 +1,36 @@
+"""Shared result types for application runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["AppResult"]
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run on one machine configuration.
+
+    Attributes:
+        name: Application name.
+        label: Primitive-variant label (one bar of a figure).
+        cycles: Total elapsed simulation cycles.
+        updates: Number of counter updates / lock acquisitions performed.
+        contention_histogram: Contention-level → percentage of accesses.
+        write_run: Average write-run length of the sync variable(s).
+        extra: Application-specific data (final values, check results).
+    """
+
+    name: str
+    label: str
+    cycles: int
+    updates: int
+    contention_histogram: dict[int, float] = field(default_factory=dict)
+    write_run: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def avg_cycles(self) -> float:
+        """Average elapsed cycles per update."""
+        return self.cycles / self.updates if self.updates else 0.0

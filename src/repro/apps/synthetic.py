@@ -1,0 +1,242 @@
+"""The three synthetic applications (paper §4.1, Figures 3–5).
+
+Each processor runs a tight loop; constant-time (magic) barriers shape the
+sharing pattern without adding measurable cost:
+
+* **contention** ``c`` — in every turn, processors ``0..c-1`` update the
+  shared counter concurrently (``c = 1`` is the no-contention case);
+* **write-run** ``a`` — with no contention, processors take turns and the
+  active processor performs a burst of consecutive updates whose lengths
+  average ``a`` (``a = 1.5`` alternates bursts of 1 and 2, as in the
+  paper's panels).
+
+The counter update itself is either
+
+* a lock-free update (:func:`run_lockfree_counter`) — fetch_and_add, a
+  CAS loop, or an LL/SC loop, per the variant;
+* an ordinary increment under a TTS lock (:func:`run_tts_counter`); or
+* an ordinary increment under an MCS lock (:func:`run_mcs_counter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimConfig
+from ..errors import ConfigError
+from ..machine.machine import Machine, build_machine
+from ..sync.counters import increment
+from ..sync.mcs_lock import McsLock
+from ..sync.tts_lock import TtsLock
+from ..sync.variant import PrimitiveVariant
+from .common import AppResult
+
+__all__ = [
+    "SyntheticSpec",
+    "burst_lengths",
+    "run_lockfree_counter",
+    "run_tts_counter",
+    "run_mcs_counter",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Sharing-pattern parameters of one synthetic run.
+
+    Attributes:
+        contention: ``c`` — processors updating concurrently per turn.
+        write_run: ``a`` — average burst length (no-contention case only).
+        turns: Number of barrier-separated turns.
+        think: Local-work cycles between a processor's consecutive
+            updates inside a burst (small, mimics loop overhead).
+    """
+
+    contention: int = 1
+    write_run: float = 1.0
+    turns: int = 32
+    think: int = 4
+
+    def validate(self, n_nodes: int) -> None:
+        """Check the spec against the machine size."""
+        if not 1 <= self.contention <= n_nodes:
+            raise ConfigError(
+                f"contention {self.contention} outside 1..{n_nodes}"
+            )
+        if self.contention > 1 and self.write_run != 1.0:
+            raise ConfigError(
+                "write-run control applies to the no-contention case only"
+            )
+        if self.write_run < 1.0:
+            raise ConfigError("write_run must be >= 1")
+        if self.turns < 1:
+            raise ConfigError("turns must be >= 1")
+
+
+def burst_lengths(write_run: float, turns: int) -> list[int]:
+    """Burst length per turn, averaging ``write_run`` (Bresenham-style).
+
+    ``write_run = 1.5`` yields 1, 2, 1, 2, ...; integers yield constant
+    bursts; other fractions interleave ``floor`` and ``ceil`` bursts so the
+    running mean converges on the target.
+    """
+    lengths: list[int] = []
+    acc = 0.0
+    for _ in range(turns):
+        acc += write_run
+        burst = int(acc)
+        acc -= burst
+        lengths.append(max(1, burst))
+    return lengths
+
+
+def _result(
+    machine: Machine,
+    name: str,
+    variant: PrimitiveVariant,
+    sync_addr: int,
+    updates: int,
+) -> AppResult:
+    stats = machine.stats
+    return AppResult(
+        name=name,
+        label=variant.label,
+        cycles=machine.now,
+        updates=updates,
+        contention_histogram=stats.contention.percentages(),
+        write_run=stats.writerun.average(sync_addr),
+        extra={"counter": machine.read_word(sync_addr)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Application 1: lock-free counter.
+# ----------------------------------------------------------------------
+
+def run_lockfree_counter(
+    variant: PrimitiveVariant,
+    spec: SyntheticSpec,
+    config: SimConfig | None = None,
+) -> AppResult:
+    """Run the lock-free counter application; return its measurements."""
+    machine = build_machine(config)
+    spec.validate(machine.n_nodes)
+    counter = machine.alloc_sync(variant.policy, home=0)
+    nprocs = machine.n_nodes
+    bursts = burst_lengths(spec.write_run, spec.turns)
+    updates_total = _plan_updates(spec, nprocs, bursts)
+
+    def program(p):
+        for turn in range(spec.turns):
+            yield p.barrier(turn, nprocs)
+            if not _active(spec, p.pid, turn, nprocs):
+                continue
+            burst = bursts[turn] if spec.contention == 1 else 1
+            for i in range(burst):
+                yield from increment(p, counter, variant)
+                if i + 1 < burst:
+                    yield p.think(spec.think)
+
+    machine.spawn_all(program)
+    machine.run()
+    result = _result(machine, "lockfree", variant, counter, updates_total)
+    _check_counter(result, updates_total)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Applications 2 and 3: lock-protected counter.
+# ----------------------------------------------------------------------
+
+def run_tts_counter(
+    variant: PrimitiveVariant,
+    spec: SyntheticSpec,
+    config: SimConfig | None = None,
+) -> AppResult:
+    """Counter protected by a TTS lock with bounded exponential backoff."""
+    return _run_locked_counter("tts", variant, spec, config)
+
+
+def run_mcs_counter(
+    variant: PrimitiveVariant,
+    spec: SyntheticSpec,
+    config: SimConfig | None = None,
+) -> AppResult:
+    """Counter protected by an MCS queue lock.
+
+    With the ``llsc`` family both of the lock's atomic operations
+    (fetch_and_store and compare_and_swap) are LL/SC-simulated — the
+    paper's "load_linked/store_conditional simulates compare_and_swap"
+    case.
+    """
+    return _run_locked_counter("mcs", variant, spec, config)
+
+
+def _run_locked_counter(
+    kind: str,
+    variant: PrimitiveVariant,
+    spec: SyntheticSpec,
+    config: SimConfig | None,
+) -> AppResult:
+    machine = build_machine(config)
+    spec.validate(machine.n_nodes)
+    if kind == "tts":
+        lock: TtsLock | McsLock = TtsLock(machine, variant, home=0)
+    else:
+        lock = McsLock(machine, variant, home=0)
+    counter = machine.alloc_data(1)
+    nprocs = machine.n_nodes
+    bursts = burst_lengths(spec.write_run, spec.turns)
+    updates_total = _plan_updates(spec, nprocs, bursts)
+
+    def program(p):
+        for turn in range(spec.turns):
+            yield p.barrier(turn, nprocs)
+            if not _active(spec, p.pid, turn, nprocs):
+                continue
+            burst = bursts[turn] if spec.contention == 1 else 1
+            for i in range(burst):
+                yield from lock.acquire(p)
+                value = yield p.load(counter)
+                yield p.store(counter, value + 1)
+                yield from lock.release(p)
+                if i + 1 < burst:
+                    yield p.think(spec.think)
+
+    machine.spawn_all(program)
+    machine.run()
+    result = AppResult(
+        name=kind,
+        label=variant.label,
+        cycles=machine.now,
+        updates=updates_total,
+        contention_histogram=machine.stats.contention.percentages(),
+        write_run=machine.stats.writerun.average(lock.addr),
+        extra={"counter": machine.read_word(counter)},
+    )
+    _check_counter(result, updates_total)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Helpers.
+# ----------------------------------------------------------------------
+
+def _active(spec: SyntheticSpec, pid: int, turn: int, nprocs: int) -> bool:
+    if spec.contention == 1:
+        return pid == turn % nprocs
+    return pid < spec.contention
+
+
+def _plan_updates(spec: SyntheticSpec, nprocs: int, bursts: list[int]) -> int:
+    if spec.contention == 1:
+        return sum(bursts)
+    return spec.turns * spec.contention
+
+
+def _check_counter(result: AppResult, expected: int) -> None:
+    got = result.extra["counter"]
+    if got != expected:
+        raise AssertionError(
+            f"{result.name}/{result.label}: counter={got}, expected {expected}"
+        )

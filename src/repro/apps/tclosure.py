@@ -1,0 +1,170 @@
+"""Transitive Closure (paper Figure 1).
+
+Floyd–Warshall-style transitive closure of a directed graph, with
+variable-size, input-dependent row chunks distributed among the
+processors through a *lock-free counter* — the application the paper uses
+to exhibit very high contention (every processor hits the counter right
+after each barrier).
+
+The program text follows the paper's Figure 1 line by line, including the
+shrinking chunk-size formula ``rows = ((size - row - rows - 1) >> 1) /
+procs + 1``.  Barriers are the scalable tree barrier of
+:mod:`repro.sync.barrier` (as in the paper); the counter update is the
+primitive variant under test via :func:`repro.sync.counters.increment`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..config import SimConfig
+from ..machine.machine import build_machine
+from ..sync.barrier import TreeBarrier
+from ..sync.counters import increment
+from ..sync.variant import PrimitiveVariant
+from .common import AppResult
+
+__all__ = [
+    "run_transitive_closure",
+    "reference_closure",
+    "random_graph",
+    "parallel_efficiency",
+]
+
+
+def random_graph(size: int, density: float, seed: int) -> list[list[int]]:
+    """A random adjacency matrix with self-loops (as reachability needs)."""
+    rng = random.Random(seed)
+    return [
+        [1 if i == j or rng.random() < density else 0 for j in range(size)]
+        for i in range(size)
+    ]
+
+
+def reference_closure(matrix: list[list[int]]) -> list[list[int]]:
+    """Sequential Floyd–Warshall closure, for result checking."""
+    size = len(matrix)
+    closure = [row[:] for row in matrix]
+    for i in range(size):
+        for j in range(size):
+            if closure[j][i] and i != j:
+                for k in range(size):
+                    if closure[i][k]:
+                        closure[j][k] = 1
+    return closure
+
+
+def run_transitive_closure(
+    variant: PrimitiveVariant,
+    size: int = 24,
+    density: float = 0.08,
+    seed: int = 7,
+    config: SimConfig | None = None,
+    check: bool = True,
+) -> AppResult:
+    """Run Transitive Closure; return measurements (and verify the result).
+
+    ``size`` is the number of graph vertices; the matrix is ``size**2``
+    ordinary shared words, block-interleaved across the machine.
+    """
+    machine = build_machine(config)
+    nprocs = machine.n_nodes
+    word = machine.config.machine.word_size
+
+    matrix = random_graph(size, density, seed)
+    e_base = machine.alloc_data(size * size)
+
+    def elem(j: int, k: int) -> int:
+        return e_base + (j * size + k) * word
+
+    for j in range(size):
+        for k in range(size):
+            if matrix[j][k]:
+                machine.write_word(elem(j, k), 1)
+
+    counter = machine.alloc_sync(variant.policy, home=0)
+    flag = machine.alloc_data(1)
+    barrier = TreeBarrier(machine)
+
+    def program(p):
+        for i in range(size):
+            if p.pid == 0:
+                yield p.store(counter, 0)
+                yield p.store(flag, 0)
+            row = 0
+            rows = 0
+            yield from barrier.wait(p)
+            while True:
+                flagged = yield p.load(flag)
+                if flagged:
+                    break
+                rows = ((size - row - rows - 1) >> 1) // nprocs + 1
+                row = yield from increment(p, counter, variant, amount=rows)
+                if row >= size:
+                    yield p.store(flag, 1)
+                    break
+                work = min(rows, size - row)
+                for j in range(row, row + work):
+                    cur_ji = yield p.load(elem(j, i))
+                    if cur_ji and i != j:
+                        for k in range(size):
+                            pivot_k = yield p.load(elem(i, k))
+                            if pivot_k:
+                                yield p.store(elem(j, k), 1)
+            yield from barrier.wait(p)
+
+    machine.spawn_all(program)
+    machine.run()
+
+    if check:
+        expected = reference_closure(matrix)
+        for j in range(size):
+            for k in range(size):
+                got = machine.read_word(elem(j, k))
+                if got != expected[j][k]:
+                    raise AssertionError(
+                        f"closure mismatch at ({j},{k}): "
+                        f"got {got}, expected {expected[j][k]}"
+                    )
+
+    stats = machine.stats
+    updates = stats.contention.samples
+    return AppResult(
+        name="tclosure",
+        label=variant.label,
+        cycles=machine.now,
+        updates=updates,
+        contention_histogram=stats.contention.percentages(),
+        write_run=stats.writerun.average(counter),
+        extra={"size": size, "mean_contention": stats.contention.mean_level()},
+    )
+
+
+def parallel_efficiency(
+    variant: PrimitiveVariant,
+    size: int = 24,
+    density: float = 0.08,
+    seed: int = 7,
+    config: SimConfig | None = None,
+) -> float:
+    """Parallel efficiency T(1) / (N * T(N)) of Transitive Closure.
+
+    The paper reports "an acceptable efficiency of 45% on 64 processors"
+    for this application; efficiency is limited by the contended counter,
+    the barriers, and the shrinking chunk sizes.  The single-processor
+    baseline runs the same program on a one-node machine.
+    """
+    from dataclasses import replace
+
+    if config is None:
+        config = SimConfig()
+    serial_config = replace(
+        config, machine=replace(config.machine, n_nodes=1)
+    )
+    serial = run_transitive_closure(variant, size=size, density=density,
+                                    seed=seed, config=serial_config,
+                                    check=False)
+    parallel = run_transitive_closure(variant, size=size, density=density,
+                                      seed=seed, config=config, check=False)
+    n = config.machine.n_nodes
+    return serial.cycles / (n * parallel.cycles)

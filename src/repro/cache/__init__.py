@@ -1,0 +1,7 @@
+"""Per-node caches: lines, the set-associative array, and MSHRs."""
+
+from .line import CacheLine, LineState
+from .cache import Cache, Eviction
+from .mshr import Mshr, Transaction
+
+__all__ = ["CacheLine", "LineState", "Cache", "Eviction", "Mshr", "Transaction"]

@@ -1,0 +1,169 @@
+"""Command-line interface: regenerate any of the paper's results.
+
+.. code-block:: console
+
+    $ python -m repro table1
+    $ python -m repro figure3 --nodes 16 --turns 8
+    $ python -m repro figure2 --out results/
+    $ python -m repro ablation-reservations
+
+Every subcommand prints the regenerated table/figure; ``--out DIR`` also
+writes it to ``DIR/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Optional, Sequence
+
+from .config import SimConfig
+from .harness.ablation import (
+    RESERVATION_STRATEGIES,
+    run_dropcopy_ablation,
+    run_reservation_ablation,
+)
+from .harness.figure2 import run_figure2
+from .harness.figure6 import render_figure6, run_figure6
+from .harness.figures import (
+    render_figure,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+)
+from .harness.report import render_histogram, render_table
+from .harness.table1 import TABLE1_EXPECTED, run_table1
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce Michael & Scott (HPCA '95): atomic primitives on "
+            "DSM multiprocessors."
+        ),
+    )
+    parser.add_argument("--nodes", type=int, default=64,
+                        help="machine size (default 64, the paper's)")
+    parser.add_argument("--turns", type=int, default=6,
+                        help="synthetic-app turns per panel (default 6)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to also write the rendered text to")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in [
+        ("table1", "serialized message counts for stores (exact)"),
+        ("figure2", "contention histograms + write-run lengths"),
+        ("figure3", "lock-free counter, all variants and panels"),
+        ("figure4", "TTS-lock counter, all variants and panels"),
+        ("figure5", "MCS-lock counter, all variants and panels"),
+        ("figure6", "total elapsed time of the real applications"),
+        ("ablation-reservations", "LL/SC reservation strategies (§3.1)"),
+        ("ablation-dropcopy", "when drop_copy helps and hurts"),
+    ]:
+        sub.add_parser(name, help=help_text)
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SimConfig:
+    return SimConfig().with_nodes(args.nodes)
+
+
+def _emit(args: argparse.Namespace, name: str, text: str,
+          out: Callable[[str], None]) -> None:
+    out(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / f"{name}.txt").write_text(text + "\n")
+
+
+def _cmd_table1(args, out) -> int:
+    measured = run_table1()
+    rows = [[label, TABLE1_EXPECTED[label], measured[label]]
+            for label in TABLE1_EXPECTED]
+    _emit(args, "table1", render_table(
+        ["store target", "paper", "measured"], rows,
+        title="Table 1: serialized network messages per store"), out)
+    return 0 if measured == TABLE1_EXPECTED else 1
+
+
+def _cmd_figure2(args, out) -> int:
+    result = run_figure2(_config(args))
+    sections = []
+    for app in sorted(result.apps):
+        for policy in ("UNC", "INV", "UPD"):
+            sections.append(render_histogram(
+                result.histogram(app, policy),
+                title=f"Figure 2 — {app} / {policy}"))
+    rows = [[app] + [round(result.write_run(app, p), 2)
+                     for p in ("UNC", "INV", "UPD")]
+            for app in sorted(result.apps)]
+    sections.append(render_table(
+        ["application", "UNC", "INV", "UPD"], rows,
+        title="Section 4.2: average write-run lengths"))
+    _emit(args, "figure2", "\n\n".join(sections), out)
+    return 0
+
+
+def _make_counter_figure(name: str, runner) -> Callable:
+    def command(args, out) -> int:
+        panels = runner(_config(args), turns=args.turns)
+        _emit(args, name, render_figure(
+            panels, f"{name.capitalize()}: average cycles per update"), out)
+        return 0
+
+    return command
+
+
+def _cmd_figure6(args, out) -> int:
+    result = run_figure6(_config(args))
+    _emit(args, "figure6", render_figure6(result), out)
+    return 0
+
+
+def _cmd_ablation_reservations(args, out) -> int:
+    outcome = run_reservation_ablation(_config(args), turns=args.turns)
+    rows = [[strategy, round(outcome.results[strategy][0], 1),
+             outcome.results[strategy][1]]
+            for strategy in RESERVATION_STRATEGIES]
+    _emit(args, "ablation_reservations", render_table(
+        ["strategy", "cycles/update", "local SC failures"], rows,
+        title="Ablation §3.1: LL/SC reservation strategies"), out)
+    return 0
+
+
+def _cmd_ablation_dropcopy(args, out) -> int:
+    outcome = run_dropcopy_ablation(_config(args), turns=args.turns)
+    rows = [[panel] + [round(outcome.table[(panel, v)], 1)
+                       for v in outcome.variants]
+            for panel in outcome.panels]
+    _emit(args, "ablation_dropcopy", render_table(
+        ["panel"] + outcome.variants, rows,
+        title="Ablation: drop_copy effect on the lock-free counter"), out)
+    return 0
+
+
+_COMMANDS: dict[str, Callable] = {
+    "table1": _cmd_table1,
+    "figure2": _cmd_figure2,
+    "figure3": _make_counter_figure("figure3", run_figure3),
+    "figure4": _make_counter_figure("figure4", run_figure4),
+    "figure5": _make_counter_figure("figure5", run_figure5),
+    "figure6": _cmd_figure6,
+    "ablation-reservations": _cmd_ablation_reservations,
+    "ablation-dropcopy": _cmd_ablation_dropcopy,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out: Callable[[str], None] = print) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Directory-based coherence: policies, the home protocol, controllers."""
+
+from .policy import SyncPolicy
+
+__all__ = ["SyncPolicy"]

@@ -1,0 +1,775 @@
+"""The cache controller: requester-side protocol engine.
+
+One controller per node.  It executes the processor's memory operations
+against the local cache, issuing protocol transactions to home nodes on
+misses, and it answers remote protocol traffic (invalidations, updates,
+recalls, delegated CAS comparisons).
+
+Operation routing by sync policy (ordinary data is ``INV``):
+
+=====================  ==========================================
+policy                 behaviour
+=====================  ==========================================
+``INV``                all primitives execute in this controller on an
+                       exclusive copy; loads get shared copies
+``INVd`` / ``INVs``    as INV, except a missing compare_and_swap is sent
+                       to the home/owner for comparison
+``UPD``                loads hit shared copies; every write-flavoured
+                       primitive (and load_linked) goes to the memory
+``UNC``                every operation goes to the memory; no caching
+=====================  ==========================================
+
+The controller owns the node's LL/SC reservation: a reservation bit, the
+reserved address, and (for memory-side strategies) the grant token and
+doomed flag returned by the memory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..cache.cache import Cache
+from ..cache.line import LineState
+from ..cache.mshr import Mshr, Transaction
+from ..config import SimConfig
+from ..errors import ProtocolError
+from ..network.mesh import WormholeMesh
+from ..network.message import Message, MessageType, Unit
+from ..primitives.ops import (
+    CasResult,
+    CompareAndSwap,
+    DropCopy,
+    FetchAndPhi,
+    LLValue,
+    Load,
+    LoadExclusive,
+    LoadLinked,
+    Store,
+    StoreConditional,
+)
+from ..primitives.semantics import apply_phi
+from .policy import SyncPolicy
+
+__all__ = ["CacheController", "LocalReservation"]
+
+Callback = Callable[[Any], None]
+
+_REPLIES = frozenset(
+    {
+        MessageType.DATA_S,
+        MessageType.DATA_X,
+        MessageType.SYNC_REPLY,
+        MessageType.SC_FAIL,
+        MessageType.CAS_FAIL,
+    }
+)
+_ACKS = frozenset({MessageType.INV_ACK, MessageType.UPDATE_ACK})
+_RECALLS = frozenset(
+    {MessageType.FLUSH_REQ, MessageType.DOWNGRADE_REQ, MessageType.CAS_CMP}
+)
+
+
+@dataclass
+class LocalReservation:
+    """The per-cache LL reservation bit and address register.
+
+    For memory-side LL/SC (UNC/UPD) the controller also remembers the
+    memory's grant: the serial-number ``token`` and the ``doomed`` flag of
+    an over-limit reservation, which lets the matching store_conditional
+    fail locally with no network traffic.
+    """
+
+    valid: bool = False
+    block: int = -1
+    addr: int = -1
+    token: Optional[int] = None
+    doomed: bool = False
+
+    def clear(self) -> None:
+        """Invalidate the reservation."""
+        self.valid = False
+        self.block = -1
+        self.addr = -1
+        self.token = None
+        self.doomed = False
+
+    def set(
+        self, block: int, addr: int, token: Optional[int] = None, doomed: bool = False
+    ) -> None:
+        """Record a new reservation (load_linked completed)."""
+        self.valid = True
+        self.block = block
+        self.addr = addr
+        self.token = token
+        self.doomed = doomed
+
+
+@dataclass
+class ControllerStats:
+    """Per-controller counters."""
+
+    ops: int = 0
+    local_hits: int = 0
+    sc_local_failures: int = 0
+    spurious_losses: int = 0
+    nak_retries: int = 0
+    chains: dict[str, int] = field(default_factory=dict)
+
+
+class CacheController:
+    """Requester-side coherence engine for one node."""
+
+    def __init__(
+        self, node: int, mesh: WormholeMesh, config: SimConfig, machine: Any
+    ) -> None:
+        self.node = node
+        self.mesh = mesh
+        self.config = config
+        self.machine = machine
+        self.sim = machine.sim
+        self.cache = Cache(config.machine)
+        self.mshr = Mshr()
+        self.reservation = LocalReservation()
+        self.stats = ControllerStats()
+        self.last_chain = 0
+        # Spurious reservation loss (paper §2.1: context switches / TLB
+        # exceptions reset the LLbit on real processors).
+        self._spurious_rate = config.spurious_sc_rate
+        self._spurious_rng = random.Random((config.seed << 8) ^ node)
+        mesh.register(node, Unit.CACHE, self.handle)
+
+    # ==================================================================
+    # Processor-facing interface.
+    # ==================================================================
+
+    def execute(self, op: Any, callback: Callback) -> None:
+        """Perform ``op`` and eventually call ``callback(result)``."""
+        self.stats.ops += 1
+        if isinstance(op, DropCopy):
+            self._drop_copy(op, callback)
+            return
+        block = self.machine.block_of(op.addr)
+        policy = self.machine.policy_of(block)
+        if policy is SyncPolicy.UNC:
+            self._execute_unc(op, block, callback)
+        elif policy is SyncPolicy.UPD:
+            self._execute_upd(op, block, callback)
+        else:
+            self._execute_inv(op, block, policy, callback)
+
+    # ------------------------------------------------------------------
+    # UNC: everything goes to the memory; nothing is cached.
+    # ------------------------------------------------------------------
+
+    def _execute_unc(self, op: Any, block: int, callback: Callback) -> None:
+        if isinstance(op, (Load, LoadExclusive)):
+            self._start_sync(op, block, callback, "sync_load", kind="load")
+        elif isinstance(op, Store):
+            self._start_sync(op, block, callback, "sync_store", kind="store",
+                             value=op.value)
+        elif isinstance(op, FetchAndPhi):
+            self._start_sync(op, block, callback, "sync_faa", kind="faa",
+                             phi=op.phi, operand=op.operand)
+        elif isinstance(op, CompareAndSwap):
+            self._start_sync(op, block, callback, "sync_cas", kind="cas",
+                             expected=op.expected, new=op.new)
+        elif isinstance(op, LoadLinked):
+            self._start_sync(op, block, callback, "sync_ll", kind="ll")
+        elif isinstance(op, StoreConditional):
+            self._store_conditional_memory(op, block, callback)
+        else:
+            raise ProtocolError(f"cannot execute {op!r} under UNC")
+
+    # ------------------------------------------------------------------
+    # UPD: reads hit shared copies; writes and LL/SC go to the memory.
+    # ------------------------------------------------------------------
+
+    def _execute_upd(self, op: Any, block: int, callback: Callback) -> None:
+        if isinstance(op, (Load, LoadExclusive)):
+            offset = self.machine.offset_of(op.addr)
+            line = self.cache.lookup(block)
+            if line is not None:
+                self._hit(op.addr, line.read_word(offset), callback,
+                          is_write=False)
+            else:
+                self._start_txn(op, block, callback, "load", MessageType.GETS)
+        elif isinstance(op, Store):
+            self._start_sync(op, block, callback, "sync_store", kind="store",
+                             value=op.value)
+        elif isinstance(op, FetchAndPhi):
+            self._start_sync(op, block, callback, "sync_faa", kind="faa",
+                             phi=op.phi, operand=op.operand)
+        elif isinstance(op, CompareAndSwap):
+            self._start_sync(op, block, callback, "sync_cas", kind="cas",
+                             expected=op.expected, new=op.new)
+        elif isinstance(op, LoadLinked):
+            # The reservation must be set at the memory, which also has the
+            # authoritative data — load_linked always travels (paper §3).
+            self._start_sync(op, block, callback, "sync_ll", kind="ll")
+        elif isinstance(op, StoreConditional):
+            self._store_conditional_memory(op, block, callback)
+        else:
+            raise ProtocolError(f"cannot execute {op!r} under UPD")
+
+    def _spurious_reservation_loss(self) -> bool:
+        """Model §2.1's spurious reservation invalidations, if enabled."""
+        if self._spurious_rate and self.reservation.valid:
+            if self._spurious_rng.random() < self._spurious_rate:
+                self.reservation.clear()
+                self.stats.spurious_losses += 1
+                return True
+        return False
+
+    def _store_conditional_memory(
+        self, op: StoreConditional, block: int, callback: Callback
+    ) -> None:
+        """Memory-side store_conditional with local fast-fail paths."""
+        self._spurious_reservation_loss()
+        res = self.reservation
+        token = op.token
+        if token is None and res.valid and res.addr == op.addr:
+            token = res.token
+            if res.doomed:
+                # Over-limit reservation: guaranteed failure, no traffic.
+                res.clear()
+                self.stats.sc_local_failures += 1
+                self._hit_result(False, callback)
+                return
+        if token is None and not (res.valid and res.addr == op.addr):
+            # No reservation was ever established and no explicit token:
+            # the store_conditional cannot succeed; fail locally.
+            self.stats.sc_local_failures += 1
+            self._hit_result(False, callback)
+            return
+        if res.valid and res.addr == op.addr:
+            res.clear()
+        self._start_sync(op, block, callback, "sync_sc", kind="sc",
+                         value=op.value, token=token)
+
+    # ------------------------------------------------------------------
+    # INV family: primitives execute here on an exclusive copy.
+    # ------------------------------------------------------------------
+
+    def _execute_inv(
+        self, op: Any, block: int, policy: SyncPolicy, callback: Callback
+    ) -> None:
+        offset = self.machine.offset_of(op.addr)
+        line = self.cache.lookup(block)
+        exclusive = line is not None and line.state is LineState.EXCLUSIVE
+
+        if isinstance(op, Load):
+            if line is not None:
+                self._hit(op.addr, line.read_word(offset), callback,
+                          is_write=False)
+            else:
+                self._start_txn(op, block, callback, "load", MessageType.GETS)
+        elif isinstance(op, LoadExclusive):
+            if exclusive:
+                self._hit(op.addr, line.read_word(offset), callback,
+                          is_write=False)
+            else:
+                self._start_txn(op, block, callback, "lx", MessageType.GETX)
+        elif isinstance(op, Store):
+            if exclusive:
+                line.write_word(offset, op.value)
+                self._hit(op.addr, None, callback, is_write=True)
+            else:
+                self._start_txn(op, block, callback, "store", MessageType.GETX)
+        elif isinstance(op, FetchAndPhi):
+            if exclusive:
+                old = line.read_word(offset)
+                line.write_word(offset, apply_phi(op.phi, old, op.operand))
+                self._hit(op.addr, old, callback, is_write=True, atomic=True)
+            else:
+                self._start_txn(op, block, callback, "faa", MessageType.GETX)
+        elif isinstance(op, CompareAndSwap):
+            self._execute_inv_cas(op, block, offset, line, policy, callback)
+        elif isinstance(op, LoadLinked):
+            if line is not None:
+                self.reservation.set(block, op.addr)
+                self._hit(op.addr, LLValue(line.read_word(offset)), callback,
+                          is_write=False)
+            else:
+                self._start_txn(op, block, callback, "ll_inv", MessageType.GETS)
+        elif isinstance(op, StoreConditional):
+            self._execute_inv_sc(op, block, offset, line, callback)
+        else:
+            raise ProtocolError(f"cannot execute {op!r} under {policy}")
+
+    def _execute_inv_cas(
+        self,
+        op: CompareAndSwap,
+        block: int,
+        offset: int,
+        line: Any,
+        policy: SyncPolicy,
+        callback: Callback,
+    ) -> None:
+        if line is not None and line.state is LineState.EXCLUSIVE:
+            old = line.read_word(offset)
+            success = old == op.expected
+            if success:
+                line.write_word(offset, op.new)
+            self._hit(op.addr, CasResult(success, old), callback,
+                      is_write=success, atomic=True)
+            return
+        if policy is SyncPolicy.INV:
+            # Acquire an exclusive copy unconditionally, compare locally.
+            self._start_txn(op, block, callback, "cas", MessageType.GETX)
+        else:
+            # INVd/INVs: let the home (or the owner) do the comparison so a
+            # failing CAS does not invalidate other copies.
+            self._start_sync(op, block, callback, "sync_cas", kind="cas",
+                             expected=op.expected, new=op.new)
+
+    def _execute_inv_sc(
+        self,
+        op: StoreConditional,
+        block: int,
+        offset: int,
+        line: Any,
+        callback: Callback,
+    ) -> None:
+        self._spurious_reservation_loss()
+        res = self.reservation
+        if not (res.valid and res.addr == op.addr):
+            self.stats.sc_local_failures += 1
+            self._hit_result(False, callback)
+            return
+        if line is not None and line.state is LineState.EXCLUSIVE:
+            # Exclusive and reserved: succeed entirely locally.
+            res.clear()
+            line.write_word(offset, op.value)
+            self._hit(op.addr, True, callback, is_write=True, atomic=True)
+            return
+        if line is not None and line.state is LineState.SHARED:
+            # The home arbitrates: success iff the line is still shared.
+            self._start_txn(op, block, callback, "sc_inv", MessageType.SC_REQ,
+                            addr=op.addr, offset=offset)
+            return
+        # Line gone; the invalidation should have killed the reservation,
+        # but be defensive: fail locally.
+        res.clear()
+        self.stats.sc_local_failures += 1
+        self._hit_result(False, callback)
+
+    # ------------------------------------------------------------------
+    # drop_copy.
+    # ------------------------------------------------------------------
+
+    def _drop_copy(self, op: DropCopy, callback: Callback) -> None:
+        block = self.machine.block_of(op.addr)
+        line = self.cache.lookup(block, touch=False)
+        if line is not None and not self.mshr.pending_for(block):
+            self._relinquish(block, line)
+        self.sim.schedule(self.config.timing.controller_occupancy,
+                          callback, None)
+
+    def _relinquish(self, block: int, line: Any) -> None:
+        """Give up a cached line: write back or send a drop notice."""
+        if line.state is LineState.EXCLUSIVE:
+            self._send_unsolicited(MessageType.WB, block, data=list(line.data))
+        else:
+            self._send_unsolicited(MessageType.DROP, block)
+        self.cache.drop(block)
+        if self.reservation.block == block:
+            self.reservation.clear()
+
+    # ==================================================================
+    # Transaction plumbing.
+    # ==================================================================
+
+    def _hit(
+        self,
+        addr: int,
+        result: Any,
+        callback: Callback,
+        is_write: bool,
+        atomic: bool = False,
+    ) -> None:
+        """Complete an operation that was satisfied locally."""
+        self.stats.local_hits += 1
+        self.last_chain = 0
+        self.machine.stats.note_access(addr, self.node, is_write)
+        delay = (self.config.timing.controller_occupancy if atomic
+                 else self.config.timing.cache_hit)
+        self.sim.schedule(delay, callback, result)
+
+    def _hit_result(self, result: Any, callback: Callback) -> None:
+        """Complete a local operation that touched no memory state."""
+        self.last_chain = 0
+        self.sim.schedule(self.config.timing.cache_hit, callback, result)
+
+    def _start_txn(
+        self,
+        op: Any,
+        block: int,
+        callback: Callback,
+        txn_kind: str,
+        mtype: MessageType,
+        **payload: Any,
+    ) -> None:
+        txn = Transaction(op=op, block=block, callback=callback, kind=txn_kind,
+                          request_mtype=mtype, request_payload=payload)
+        self.mshr.begin(txn)
+        self._issue(txn)
+
+    def _start_sync(
+        self,
+        op: Any,
+        block: int,
+        callback: Callback,
+        txn_kind: str,
+        **payload: Any,
+    ) -> None:
+        payload.setdefault("addr", op.addr)
+        payload.setdefault("offset", self.machine.offset_of(op.addr))
+        self._start_txn(op, block, callback, txn_kind, MessageType.SYNC_REQ,
+                        **payload)
+
+    def _issue(self, txn: Transaction) -> None:
+        home = self.machine.home_of(txn.block)
+        chain = txn.chain + (1 if home != self.node else 0)
+        txn.note_chain(chain)
+        self.mesh.send(
+            Message(
+                mtype=txn.request_mtype,
+                src=self.node,
+                dst=home,
+                unit=Unit.HOME,
+                block=txn.block,
+                txn=txn,
+                chain=chain,
+                requester=self.node,
+                payload=dict(txn.request_payload),
+            )
+        )
+
+    def _send_unsolicited(self, mtype: MessageType, block: int, **payload) -> None:
+        home = self.machine.home_of(block)
+        self.mesh.send(
+            Message(mtype=mtype, src=self.node, dst=home, unit=Unit.HOME,
+                    block=block, chain=0, requester=self.node, payload=payload)
+        )
+
+    def _reply_to(
+        self, msg: Message, mtype: MessageType, dst: int, unit: Unit, **payload
+    ) -> None:
+        chain = msg.chain + (1 if dst != self.node else 0)
+        self.mesh.send(
+            Message(mtype=mtype, src=self.node, dst=dst, unit=unit,
+                    block=msg.block, txn=msg.txn, chain=chain,
+                    requester=msg.requester, payload=payload)
+        )
+
+    # ==================================================================
+    # Network handler.
+    # ==================================================================
+
+    def handle(self, msg: Message) -> None:
+        """Delivery point for all CACHE-unit messages at this node."""
+        mtype = msg.mtype
+        if mtype in _REPLIES:
+            self._on_reply(msg)
+        elif mtype in _ACKS:
+            self._on_ack(msg)
+        elif mtype is MessageType.OWNER_NAK:
+            self._on_owner_nak(msg)
+        elif mtype is MessageType.INV:
+            self._on_inv(msg)
+        elif mtype is MessageType.UPDATE:
+            self._on_update(msg)
+        elif mtype in _RECALLS:
+            txn = self.mshr.current
+            if (txn is not None and txn.block == msg.block
+                    and txn.reply is not None):
+                # Our exclusive grant is in hand but acks are still
+                # arriving: we are the new owner, so hold the recall until
+                # the transaction completes.  (A recall cannot overtake the
+                # grant: both travel home->us, in order.)
+                self.mshr.defer(msg)
+            else:
+                # No transaction, or ours has not been granted yet.  In the
+                # latter case the directory's ownership record is stale (we
+                # dropped or evicted the line; the writeback is in flight),
+                # and deferring would deadlock the home against our own
+                # queued request — answer the recall now (NAK if the line
+                # is gone).
+                self._on_recall(msg)
+        else:
+            raise ProtocolError(f"cache {self.node} cannot handle {msg}")
+
+    def _current_txn(self, msg: Message) -> Transaction:
+        txn = self.mshr.current
+        if txn is None or txn.block != msg.block:
+            raise ProtocolError(
+                f"node {self.node}: {msg} matches no outstanding transaction"
+            )
+        return txn
+
+    def _on_reply(self, msg: Message) -> None:
+        txn = self._current_txn(msg)
+        txn.reply = msg
+        txn.acks_needed = msg.payload.get("acks", 0)
+        txn.note_chain(msg.chain)
+        self._maybe_complete()
+
+    def _on_ack(self, msg: Message) -> None:
+        txn = self._current_txn(msg)
+        txn.acks_got += 1
+        txn.note_chain(msg.chain)
+        self._maybe_complete()
+
+    def _on_owner_nak(self, msg: Message) -> None:
+        txn = self._current_txn(msg)
+        txn.retries += 1
+        self.stats.nak_retries += 1
+        if txn.retries > Mshr.MAX_RETRIES:
+            raise ProtocolError(f"transaction for block {txn.block} livelocked")
+        txn.note_chain(msg.chain)
+        txn.reply = None
+        txn.acks_needed = None
+        txn.acks_got = 0
+        self.sim.schedule(self.config.timing.controller_occupancy,
+                          self._issue, txn)
+
+    def _on_inv(self, msg: Message) -> None:
+        line = self.cache.lookup(msg.block, touch=False)
+        if line is not None:
+            line.invalidate()
+            self.cache.drop(msg.block)
+        if self.reservation.block == msg.block:
+            self.reservation.clear()
+        self._reply_to(msg, MessageType.INV_ACK, msg.requester, Unit.CACHE)
+
+    def _on_update(self, msg: Message) -> None:
+        line = self.cache.lookup(msg.block, touch=False)
+        if line is not None:
+            line.data = list(msg.payload["data"])
+        self._reply_to(msg, MessageType.UPDATE_ACK, msg.requester, Unit.CACHE)
+
+    # ------------------------------------------------------------------
+    # Recalls (home -> owner).
+    # ------------------------------------------------------------------
+
+    def _on_recall(self, msg: Message) -> None:
+        line = self.cache.lookup(msg.block, touch=False)
+        home = self.machine.home_of(msg.block)
+        if line is None or line.state is not LineState.EXCLUSIVE:
+            # We dropped or evicted the line; the writeback is in flight.
+            self._reply_to(msg, MessageType.FLUSH_NAK, home, Unit.HOME,
+                           reason="gone")
+            self._reply_to(msg, MessageType.OWNER_NAK, msg.requester,
+                           Unit.CACHE)
+            return
+        if msg.mtype is MessageType.FLUSH_REQ:
+            data = list(line.data)
+            self.cache.drop(msg.block)
+            if self.reservation.block == msg.block:
+                self.reservation.clear()
+            self._reply_to(msg, MessageType.FLUSH_REPLY, home, Unit.HOME,
+                           data=data)
+        elif msg.mtype is MessageType.DOWNGRADE_REQ:
+            line.state = LineState.SHARED
+            data = list(line.data)
+            line.dirty = False
+            self._reply_to(msg, MessageType.SHARE_WB, home, Unit.HOME,
+                           data=data)
+        elif msg.mtype is MessageType.CAS_CMP:
+            self._on_cas_cmp(msg, line, home)
+        else:  # pragma: no cover - guarded by _RECALLS
+            raise ProtocolError(f"bad recall {msg}")
+
+    def _on_cas_cmp(self, msg: Message, line: Any, home: int) -> None:
+        """Delegated INVd/INVs comparison at the owning cache."""
+        offset = msg.payload["offset"]
+        old = line.read_word(offset)
+        if old == msg.payload["expected"]:
+            # Success: surrender the line; the requester takes it exclusive
+            # and applies the new value there.
+            data = list(line.data)
+            self.cache.drop(msg.block)
+            if self.reservation.block == msg.block:
+                self.reservation.clear()
+            self._reply_to(msg, MessageType.FLUSH_REPLY, home, Unit.HOME,
+                           data=data, cas_ok=True, old=old)
+            return
+        if msg.payload["variant"] == SyncPolicy.INVD.value:
+            # Failure, deny: keep our exclusive copy; tell the requester
+            # directly and release the home.
+            self._reply_to(msg, MessageType.CAS_FAIL, msg.requester,
+                           Unit.CACHE, old=old)
+            self._reply_to(msg, MessageType.FLUSH_NAK, home, Unit.HOME,
+                           reason="cas_fail")
+        else:
+            # Failure, share: demote to shared; the home sends the
+            # requester a read-only copy with the failure result.
+            line.state = LineState.SHARED
+            line.dirty = False
+            self._reply_to(msg, MessageType.SHARE_WB, home, Unit.HOME,
+                           data=list(line.data), cas_fail=True, old=old)
+
+    # ==================================================================
+    # Completion.
+    # ==================================================================
+
+    def _maybe_complete(self) -> None:
+        txn = self.mshr.current
+        if txn is not None and txn.complete:
+            self._finish(txn)
+
+    def _finish(self, txn: Transaction) -> None:
+        reply = txn.reply
+        assert reply is not None
+        result = self._apply_completion(txn, reply)
+        self.mshr.finish()
+        self.last_chain = txn.chain
+        key = txn.kind
+        self.stats.chains[key] = self.stats.chains.get(key, 0) + txn.chain
+        self.machine.stats.note_transaction(txn.kind, txn.chain)
+        # Serve remote requests that arrived while we were in flight.
+        for deferred in self.mshr.take_deferred(txn.block):
+            self._on_recall(deferred)
+        self.sim.schedule(self.config.timing.controller_occupancy,
+                          txn.callback, result)
+
+    def _apply_completion(self, txn: Transaction, reply: Message) -> Any:
+        kind = txn.kind
+        op = txn.op
+        block = txn.block
+        data = reply.payload.get("data")
+
+        if kind == "load":
+            offset = self.machine.offset_of(op.addr)
+            self._install(block, LineState.SHARED, data)
+            self.machine.stats.note_access(op.addr, self.node, False)
+            return data[offset]
+
+        if kind == "ll_inv":
+            offset = self.machine.offset_of(op.addr)
+            self._install(block, LineState.SHARED, data)
+            self.reservation.set(block, op.addr)
+            self.machine.stats.note_access(op.addr, self.node, False)
+            return LLValue(data[offset])
+
+        if kind in ("lx", "store", "faa", "cas"):
+            return self._complete_exclusive(txn, reply, data)
+
+        if kind == "sc_inv":
+            return self._complete_sc_inv(txn, reply, data)
+
+        if kind.startswith("sync_"):
+            return self._complete_sync(txn, reply, data)
+
+        raise ProtocolError(f"unknown transaction kind {kind!r}")
+
+    def _complete_exclusive(
+        self, txn: Transaction, reply: Message, data: list[int]
+    ) -> Any:
+        """Install an exclusive copy and run the operation locally."""
+        if reply.mtype is not MessageType.DATA_X:
+            raise ProtocolError(f"{txn.kind} expected DATA_X, got {reply}")
+        op = txn.op
+        offset = self.machine.offset_of(op.addr)
+        line_data = list(data)
+        kind = txn.kind
+        if kind == "lx":
+            result: Any = line_data[offset]
+            dirty = False
+            is_write = False
+        elif kind == "store":
+            line_data[offset] = op.value
+            result = None
+            dirty = True
+            is_write = True
+        elif kind == "faa":
+            old = line_data[offset]
+            line_data[offset] = apply_phi(op.phi, old, op.operand)
+            result = old
+            dirty = True
+            is_write = True
+        else:  # cas (plain INV: compare locally on the fresh copy)
+            old = line_data[offset]
+            success = old == op.expected
+            if success:
+                line_data[offset] = op.new
+            result = CasResult(success, old)
+            dirty = success
+            is_write = success
+        self._install(txn.block, LineState.EXCLUSIVE, line_data, dirty=dirty)
+        self.machine.stats.note_access(op.addr, self.node, is_write)
+        return result
+
+    def _complete_sc_inv(
+        self, txn: Transaction, reply: Message, data: Any
+    ) -> bool:
+        """INV-policy store_conditional arbitration came back."""
+        op = txn.op
+        self.reservation.clear()
+        if reply.mtype is MessageType.SC_FAIL:
+            return False
+        if not reply.payload.get("sc_grant"):
+            raise ProtocolError(f"sc_inv expected SC grant, got {reply}")
+        line = self.cache.lookup(txn.block, touch=False)
+        if line is None:
+            raise ProtocolError("SC granted but the shared copy vanished")
+        offset = self.machine.offset_of(op.addr)
+        line.state = LineState.EXCLUSIVE
+        line.write_word(offset, op.value)
+        self.machine.stats.note_access(op.addr, self.node, True)
+        return True
+
+    def _complete_sync(self, txn: Transaction, reply: Message, data: Any) -> Any:
+        """Memory-side operation finished (UNC/UPD/INVd/INVs)."""
+        op = txn.op
+        kind = txn.kind
+        offset = self.machine.offset_of(op.addr)
+
+        if reply.mtype is MessageType.DATA_X and reply.payload.get("cas_granted"):
+            # INVd/INVs comparison succeeded: we take the line exclusive
+            # and apply the new value here.
+            line_data = list(data)
+            old = reply.payload.get("old", line_data[offset])
+            line_data[offset] = op.new
+            self._install(txn.block, LineState.EXCLUSIVE, line_data, dirty=True)
+            return CasResult(True, old)
+
+        if reply.mtype is MessageType.CAS_FAIL:
+            # INVd failure answered directly by the owner; no copy for us.
+            return CasResult(False, reply.payload.get("old", 0))
+
+        if reply.mtype is not MessageType.SYNC_REPLY:
+            raise ProtocolError(f"{kind} expected SYNC_REPLY, got {reply}")
+
+        if data is not None:
+            # UPD result or INVs failure: we hold/refresh a shared copy.
+            self._install(txn.block, LineState.SHARED, data)
+
+        result = reply.payload.get("result")
+        if kind == "sync_ll":
+            _tag, value, token, doomed = result
+            self.reservation.set(txn.block, op.addr, token=token, doomed=doomed)
+            return LLValue(value, token=token, doomed=doomed)
+        if kind == "sync_sc":
+            return result[1]
+        if kind == "sync_cas":
+            _tag, success, old = result
+            return CasResult(success, old)
+        return result
+
+    def _install(
+        self, block: int, state: LineState, data: list[int], dirty: bool = False
+    ) -> None:
+        """Install a line, writing back or dropping any evicted victim."""
+        victim = self.cache.install(block, state, data, dirty=dirty)
+        if victim is None:
+            return
+        if victim.state is LineState.EXCLUSIVE:
+            self._send_unsolicited(MessageType.WB, victim.block,
+                                   data=victim.data)
+        else:
+            self._send_unsolicited(MessageType.DROP, victim.block)
+        if self.reservation.block == victim.block:
+            self.reservation.clear()

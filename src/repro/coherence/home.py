@@ -1,0 +1,548 @@
+"""The home-node protocol engine: directory plus memory-side atomics.
+
+Every message addressed to a node's HOME unit passes through the node's
+queued memory module (FIFO, ``memory_service`` cycles each) and is then
+interpreted here.  The engine implements:
+
+* the base write-invalidate protocol (GETS/GETX with ownership transfer
+  *through the home*, giving the paper's Table 1 serialized-message
+  counts: 2 to an uncached line, 3 to a remote-shared line, 4 to a
+  remote-exclusive line);
+* the write-update (UPD) and uncached (UNC) handling of synchronization
+  variables, with fetch_and_phi / compare_and_swap / load_linked /
+  store_conditional executed by the memory module;
+* the INVd / INVs compare_and_swap variants, where the comparison runs at
+  the home (or is delegated to the owner) so a failing CAS does not
+  invalidate cached copies;
+* the in-memory reservation bookkeeping for LL/SC (pluggable strategy);
+* the drop_copy race: a recall that finds the owner gone produces an
+  owner→requester NAK and leaves the entry busy until the in-flight
+  writeback lands.
+
+The directory entry is *blocking per block*: requests arriving during an
+ownership transfer queue FIFO on the entry and replay when it completes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ProtocolError
+from ..memory.directory import Directory, DirState
+from ..memory.module import MemoryModule
+from ..memory.reservations import ReservationTable
+from ..network.mesh import WormholeMesh
+from ..network.message import Message, MessageType, Unit
+from ..primitives.semantics import apply_phi
+from .policy import SyncPolicy
+
+__all__ = ["HomeNode"]
+
+_REQUESTS = frozenset(
+    {
+        MessageType.GETS,
+        MessageType.GETX,
+        MessageType.SYNC_REQ,
+        MessageType.SC_REQ,
+    }
+)
+
+
+class HomeNode:
+    """Directory controller + memory-side ALU for one node's memory."""
+
+    def __init__(
+        self,
+        node: int,
+        mesh: WormholeMesh,
+        memory: MemoryModule,
+        directory: Directory,
+        reservations: ReservationTable,
+        machine: Any,
+    ) -> None:
+        self.node = node
+        self.mesh = mesh
+        self.memory = memory
+        self.directory = directory
+        self.reservations = reservations
+        self.machine = machine
+        mesh.register(node, Unit.HOME, self.handle)
+
+    # ------------------------------------------------------------------
+    # Delivery and dispatch.
+    # ------------------------------------------------------------------
+
+    def handle(self, msg: Message) -> None:
+        """Network delivery: queue the message at the memory module.
+
+        Drop notices only touch directory state (no DRAM data), so they
+        occupy the module for the shorter directory-service time.
+        """
+        if msg.mtype is MessageType.DROP:
+            service = self.memory.config.timing.directory_service
+            self.memory.service(self._process, msg, service_time=service)
+        else:
+            self.memory.service(self._process, msg)
+
+    def _process(self, msg: Message) -> None:
+        entry = self.directory.entry(msg.block)
+        if msg.mtype in _REQUESTS and entry.busy:
+            entry.waiters.append(msg)
+            return
+        self._dispatch(msg)
+
+    def _dispatch(self, msg: Message) -> None:
+        mtype = msg.mtype
+        if mtype is MessageType.GETS:
+            self._gets(msg)
+        elif mtype is MessageType.GETX:
+            self._getx(msg)
+        elif mtype is MessageType.SYNC_REQ:
+            self._sync_req(msg)
+        elif mtype is MessageType.SC_REQ:
+            self._sc_req(msg)
+        elif mtype is MessageType.FLUSH_REPLY:
+            self._flush_reply(msg)
+        elif mtype is MessageType.SHARE_WB:
+            self._share_wb(msg)
+        elif mtype is MessageType.FLUSH_NAK:
+            self._flush_nak(msg)
+        elif mtype is MessageType.WB:
+            self._wb(msg)
+        elif mtype is MessageType.DROP:
+            self._drop(msg)
+        else:
+            raise ProtocolError(f"home {self.node} cannot handle {msg}")
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+
+    def _send(
+        self,
+        prev: Message,
+        mtype: MessageType,
+        dst: int,
+        unit: Unit,
+        **payload: Any,
+    ) -> None:
+        """Send the next protocol message, extending the serialized chain.
+
+        Node-local hops (home and destination on the same node) do not
+        cross the network and do not lengthen the chain.
+        """
+        chain = prev.chain + (1 if dst != self.node else 0)
+        self.mesh.send(
+            Message(
+                mtype=mtype,
+                src=self.node,
+                dst=dst,
+                unit=unit,
+                block=prev.block,
+                txn=prev.txn,
+                chain=chain,
+                requester=prev.requester,
+                payload=payload,
+            )
+        )
+
+    def _unbusy(self, block: int) -> None:
+        """Release the entry and replay queued requests in order.
+
+        Replayed requests re-enter the memory service queue (they access
+        the directory again), which also gives a freshly granted owner the
+        cycles it needs to perform its local atomic operation before the
+        next recall arrives.
+        """
+        entry = self.directory.entry(block)
+        entry.busy = False
+        entry.pending = None
+        if entry.waiters:
+            waiters = list(entry.waiters)
+            entry.waiters.clear()
+            for msg in waiters:
+                self.memory.service(self._process, msg)
+
+    def _note(self, msg: Message, is_write: bool) -> None:
+        """Record a memory-side access for sharing-pattern statistics."""
+        addr = msg.payload.get("addr")
+        if addr is not None:
+            self.machine.stats.note_access(addr, msg.requester, is_write)
+
+    # ------------------------------------------------------------------
+    # Base write-invalidate protocol.
+    # ------------------------------------------------------------------
+
+    def _gets(self, msg: Message) -> None:
+        entry = self.directory.entry(msg.block)
+        requester = msg.requester
+        if entry.state in (DirState.UNCACHED, DirState.SHARED):
+            entry.add_sharer(requester)
+            data = self.memory.read_block(msg.block)
+            self._send(msg, MessageType.DATA_S, requester, Unit.CACHE, data=data)
+            return
+        # EXCLUSIVE: recall through the home.
+        if entry.owner == requester:
+            raise ProtocolError(
+                f"GETS from {requester} but directory says it owns block "
+                f"{msg.block}"
+            )
+        entry.busy = True
+        entry.pending = msg
+        self._send(msg, MessageType.DOWNGRADE_REQ, entry.owner, Unit.CACHE)
+
+    def _getx(self, msg: Message) -> None:
+        entry = self.directory.entry(msg.block)
+        requester = msg.requester
+        if entry.state is DirState.UNCACHED:
+            entry.set_exclusive(requester)
+            data = self.memory.read_block(msg.block)
+            self._send(
+                msg, MessageType.DATA_X, requester, Unit.CACHE, data=data, acks=0
+            )
+            return
+        if entry.state is DirState.SHARED:
+            others = entry.sharers - {requester}
+            entry.set_exclusive(requester)
+            for sharer in others:
+                self._send(msg, MessageType.INV, sharer, Unit.CACHE)
+            data = self.memory.read_block(msg.block)
+            self._send(
+                msg,
+                MessageType.DATA_X,
+                requester,
+                Unit.CACHE,
+                data=data,
+                acks=len(others),
+            )
+            return
+        # EXCLUSIVE elsewhere: recall through the home.
+        if entry.owner == requester:
+            raise ProtocolError(
+                f"GETX from {requester} but directory says it owns block "
+                f"{msg.block}"
+            )
+        entry.busy = True
+        entry.pending = msg
+        self._send(msg, MessageType.FLUSH_REQ, entry.owner, Unit.CACHE)
+
+    def _flush_reply(self, msg: Message) -> None:
+        """Owner surrendered an exclusive line (recall or delegated CAS)."""
+        entry = self.directory.entry(msg.block)
+        self.memory.write_block(msg.block, msg.payload["data"])
+        pending = entry.pending
+        if pending is None:
+            raise ProtocolError(f"unexpected FLUSH_REPLY for block {msg.block}")
+        requester = pending.requester
+        data = self.memory.read_block(msg.block)
+        if pending.mtype is MessageType.GETX:
+            entry.set_exclusive(requester)
+            self._send(msg, MessageType.DATA_X, requester, Unit.CACHE, data=data, acks=0)
+        elif pending.mtype is MessageType.SYNC_REQ:
+            # Delegated INVd/INVs CAS that succeeded at the owner: grant
+            # the requester an exclusive copy; it applies the new value.
+            if not msg.payload.get("cas_ok"):
+                raise ProtocolError("FLUSH_REPLY for SYNC_REQ without cas_ok")
+            entry.set_exclusive(requester)
+            self._note(pending, is_write=True)
+            self._send(
+                msg,
+                MessageType.DATA_X,
+                requester,
+                Unit.CACHE,
+                data=data,
+                acks=0,
+                cas_granted=True,
+                old=msg.payload.get("old"),
+            )
+        else:
+            raise ProtocolError(f"FLUSH_REPLY while pending {pending.mtype}")
+        self._unbusy(msg.block)
+
+    def _share_wb(self, msg: Message) -> None:
+        """Owner demoted its exclusive line to shared."""
+        entry = self.directory.entry(msg.block)
+        self.memory.write_block(msg.block, msg.payload["data"])
+        pending = entry.pending
+        if pending is None:
+            raise ProtocolError(f"unexpected SHARE_WB for block {msg.block}")
+        requester = pending.requester
+        entry.set_shared({msg.src})
+        data = self.memory.read_block(msg.block)
+        if pending.mtype is MessageType.GETS:
+            entry.add_sharer(requester)
+            self._send(msg, MessageType.DATA_S, requester, Unit.CACHE, data=data)
+        elif pending.mtype is MessageType.SYNC_REQ:
+            # Delegated INVs CAS that failed at the owner: requester gets a
+            # read-only copy along with the failure result.
+            self._note(pending, is_write=False)
+            entry.add_sharer(requester)
+            self._send(
+                msg,
+                MessageType.SYNC_REPLY,
+                requester,
+                Unit.CACHE,
+                result=("cas", False, msg.payload.get("old")),
+                data=data,
+                acks=0,
+            )
+        else:
+            raise ProtocolError(f"SHARE_WB while pending {pending.mtype}")
+        self._unbusy(msg.block)
+
+    def _flush_nak(self, msg: Message) -> None:
+        """The owner could not serve a recall.
+
+        ``reason == "cas_fail"``: a delegated INVd comparison failed; the
+        owner kept its line and answered the requester directly — just
+        release the entry.  ``reason == "gone"``: the owner dropped or
+        evicted the line; its writeback is in flight (or already here), and
+        the entry stays busy until the writeback lands.
+        """
+        entry = self.directory.entry(msg.block)
+        if entry.pending is None:
+            raise ProtocolError(f"unexpected FLUSH_NAK for block {msg.block}")
+        entry.pending = None
+        if msg.payload.get("reason") == "cas_fail":
+            self._unbusy(msg.block)
+            return
+        if entry.state is DirState.UNCACHED:
+            # The writeback overtook the NAK and was already applied.
+            self._unbusy(msg.block)
+        else:
+            entry.awaiting_wb = True
+
+    def _wb(self, msg: Message) -> None:
+        """Writeback of a dirty exclusive line (drop_copy or eviction)."""
+        entry = self.directory.entry(msg.block)
+        self.memory.write_block(msg.block, msg.payload["data"])
+        if entry.state is DirState.EXCLUSIVE and entry.owner == msg.src:
+            entry.set_uncached()
+        if entry.awaiting_wb:
+            entry.awaiting_wb = False
+            self._unbusy(msg.block)
+
+    def _drop(self, msg: Message) -> None:
+        """Notice that a shared copy was dropped or evicted."""
+        entry = self.directory.entry(msg.block)
+        if entry.state is DirState.SHARED:
+            entry.remove_sharer(msg.src)
+
+    # ------------------------------------------------------------------
+    # INV-policy store_conditional arbitration.
+    # ------------------------------------------------------------------
+
+    def _sc_req(self, msg: Message) -> None:
+        """store_conditional from a cache holding a shared copy.
+
+        Succeeds only if the directory still shows the line shared with the
+        requester among the sharers; the write is then granted and every
+        other copy is invalidated.  If the line went exclusive or uncached
+        in the meantime, some other write serialized first, so the
+        store_conditional must fail (paper §3).
+        """
+        entry = self.directory.entry(msg.block)
+        requester = msg.requester
+        if entry.state is DirState.SHARED and requester in entry.sharers:
+            others = entry.sharers - {requester}
+            entry.set_exclusive(requester)
+            for sharer in others:
+                self._send(msg, MessageType.INV, sharer, Unit.CACHE)
+            self._note(msg, is_write=True)
+            self._send(
+                msg,
+                MessageType.DATA_X,
+                requester,
+                Unit.CACHE,
+                data=None,
+                acks=len(others),
+                sc_grant=True,
+            )
+        else:
+            self._note(msg, is_write=False)
+            self._send(msg, MessageType.SC_FAIL, requester, Unit.CACHE)
+
+    # ------------------------------------------------------------------
+    # Memory-side operations (UNC, UPD, and INVd/INVs CAS).
+    # ------------------------------------------------------------------
+
+    def _sync_req(self, msg: Message) -> None:
+        policy = self.machine.policy_of(msg.block)
+        kind = msg.payload["kind"]
+        if policy is SyncPolicy.UNC:
+            self._sync_unc(msg, kind)
+        elif policy is SyncPolicy.UPD:
+            self._sync_upd(msg, kind)
+        elif policy in (SyncPolicy.INVD, SyncPolicy.INVS) and kind == "cas":
+            self._sync_cas_variant(msg, policy)
+        else:
+            raise ProtocolError(
+                f"SYNC_REQ kind={kind!r} not valid under policy {policy}"
+            )
+
+    def _apply_op(self, msg: Message, kind: str) -> tuple[Any, bool]:
+        """Execute one memory-side operation on the block's word.
+
+        Returns ``(result, wrote)`` where ``wrote`` is True if the stored
+        word's value actually changed (a same-value store keeps copies
+        coherent without any update traffic).  Reservations die on *any*
+        write, including same-value ones.
+        """
+        block, offset = msg.block, msg.payload["offset"]
+        old = self.memory.read_word(block, offset)
+        if kind == "load":
+            return old, False
+        if kind == "store":
+            value = msg.payload["value"]
+            self.memory.write_word(block, offset, value)
+            self.reservations.write(block)
+            return None, value != old
+        if kind == "faa":
+            new = apply_phi(msg.payload["phi"], old, msg.payload["operand"])
+            self.memory.write_word(block, offset, new)
+            self.reservations.write(block)
+            return old, new != old
+        if kind == "cas":
+            expected, new = msg.payload["expected"], msg.payload["new"]
+            if old == expected:
+                self.memory.write_word(block, offset, new)
+                self.reservations.write(block)
+                return ("cas", True, old), new != old
+            return ("cas", False, old), False
+        if kind == "ll":
+            grant = self.reservations.load_linked(msg.requester, block)
+            return ("ll", old, grant.token, grant.doomed), False
+        if kind == "sc":
+            value, token = msg.payload["value"], msg.payload.get("token")
+            if self.reservations.consume(msg.requester, block, token):
+                self.memory.write_word(block, offset, value)
+                return ("sc", True), value != old
+            return ("sc", False), False
+        raise ProtocolError(f"unknown memory-side op kind {kind!r}")
+
+    @staticmethod
+    def _op_is_write(kind: str, result: Any) -> bool:
+        """Whether the executed memory-side op counts as a write access."""
+        if kind in ("store", "faa"):
+            return True
+        if kind in ("cas", "sc"):
+            return bool(result[1])
+        return False
+
+    def _sync_unc(self, msg: Message, kind: str) -> None:
+        """Uncached operation: execute at memory, reply; never any copies."""
+        result, _wrote = self._apply_op(msg, kind)
+        self._note(msg, self._op_is_write(kind, result))
+        self._send(
+            msg,
+            MessageType.SYNC_REPLY,
+            msg.requester,
+            Unit.CACHE,
+            result=result,
+            data=None,
+            acks=0,
+        )
+
+    def _sync_upd(self, msg: Message, kind: str) -> None:
+        """Write-update operation: execute at memory, multicast updates.
+
+        The requester retains (or acquires) a shared copy; every other
+        sharer receives the new block contents and acknowledges directly to
+        the requester.
+        """
+        entry = self.directory.entry(msg.block)
+        requester = msg.requester
+        result, wrote = self._apply_op(msg, kind)
+        self._note(msg, self._op_is_write(kind, result))
+        others = entry.sharers - {requester}
+        entry.add_sharer(requester)
+        data = self.memory.read_block(msg.block)
+        acks = 0
+        if wrote:
+            for sharer in others:
+                self._send(msg, MessageType.UPDATE, sharer, Unit.CACHE, data=data)
+            acks = len(others)
+        self._send(
+            msg,
+            MessageType.SYNC_REPLY,
+            requester,
+            Unit.CACHE,
+            result=result,
+            data=data,
+            acks=acks,
+        )
+
+    def _sync_cas_variant(self, msg: Message, policy: SyncPolicy) -> None:
+        """INVd/INVs compare_and_swap with the comparison at home or owner."""
+        entry = self.directory.entry(msg.block)
+        requester = msg.requester
+        offset = msg.payload["offset"]
+        expected, new = msg.payload["expected"], msg.payload["new"]
+
+        if entry.state is DirState.EXCLUSIVE:
+            if entry.owner == requester:
+                raise ProtocolError(
+                    f"INVd/INVs CAS from {requester} which owns block {msg.block}"
+                )
+            # The owner has the most up-to-date copy: delegate the compare.
+            entry.busy = True
+            entry.pending = msg
+            self._send(
+                msg,
+                MessageType.CAS_CMP,
+                entry.owner,
+                Unit.CACHE,
+                offset=offset,
+                expected=expected,
+                new=new,
+                variant=policy.value,
+            )
+            return
+
+        # Home memory is current: compare here.
+        old = self.memory.read_word(msg.block, offset)
+        if old == expected:
+            # Success: behave like INV — grant an exclusive copy; the
+            # requester's cache applies the new value.
+            others = entry.sharers - {requester}
+            entry.set_exclusive(requester)
+            for sharer in others:
+                self._send(msg, MessageType.INV, sharer, Unit.CACHE)
+            self._note(msg, is_write=True)
+            data = self.memory.read_block(msg.block)
+            self._send(
+                msg,
+                MessageType.DATA_X,
+                requester,
+                Unit.CACHE,
+                data=data,
+                acks=len(others),
+                cas_granted=True,
+                old=old,
+            )
+            return
+
+        # Failure: do not disturb existing copies.
+        self._note(msg, is_write=False)
+        if policy is SyncPolicy.INVD:
+            self._send(
+                msg,
+                MessageType.SYNC_REPLY,
+                requester,
+                Unit.CACHE,
+                result=("cas", False, old),
+                data=None,
+                acks=0,
+            )
+        else:  # INVs: grant a read-only copy alongside the failure.
+            entry.add_sharer(requester)
+            data = self.memory.read_block(msg.block)
+            self._send(
+                msg,
+                MessageType.SYNC_REPLY,
+                requester,
+                Unit.CACHE,
+                result=("cas", False, old),
+                data=data,
+                acks=0,
+            )

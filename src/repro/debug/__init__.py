@@ -1,0 +1,5 @@
+"""Debugging facilities: protocol tracing."""
+
+from .trace import ProtocolTracer, TraceRecord
+
+__all__ = ["ProtocolTracer", "TraceRecord"]

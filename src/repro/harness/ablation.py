@@ -1,0 +1,111 @@
+"""Ablation studies for the design choices the paper discusses.
+
+* :func:`run_reservation_ablation` — §3.1's in-memory LL/SC reservation
+  designs (bit vector, limited slots, bounded-free-list linked lists,
+  write serial numbers) on a contended UNC LL/SC counter.
+* :func:`run_dropcopy_ablation` — when drop_copy helps and when it
+  hurts, across write-run lengths and contention, under INV and UPD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.synthetic import SyntheticSpec, run_lockfree_counter
+from ..coherence.policy import SyncPolicy
+from ..config import SimConfig
+from ..machine.machine import build_machine
+from ..sync.counters import increment
+from ..sync.variant import PrimitiveVariant
+
+__all__ = [
+    "ReservationAblation",
+    "run_reservation_ablation",
+    "DropCopyAblation",
+    "run_dropcopy_ablation",
+    "RESERVATION_STRATEGIES",
+]
+
+RESERVATION_STRATEGIES = ("bitvector", "limited", "linkedlist", "serial")
+
+
+@dataclass
+class ReservationAblation:
+    """strategy -> (cycles/update, local SC failures)."""
+
+    results: dict[str, tuple[float, int]] = field(default_factory=dict)
+
+
+def run_reservation_ablation(
+    config: SimConfig,
+    contention: int | None = None,
+    turns: int = 6,
+    reservation_limit: int = 4,
+) -> ReservationAblation:
+    """Measure each reservation strategy on a contended LL/SC counter."""
+    from dataclasses import replace
+
+    n_nodes = config.machine.n_nodes
+    if contention is None:
+        contention = min(16, n_nodes)
+    outcome = ReservationAblation()
+    for strategy in RESERVATION_STRATEGIES:
+        run_config = replace(config, reservation_strategy=strategy,
+                             reservation_limit=reservation_limit)
+        machine = build_machine(run_config)
+        variant = PrimitiveVariant("llsc", SyncPolicy.UNC)
+        counter = machine.alloc_sync(SyncPolicy.UNC, home=0)
+
+        def program(p):
+            for turn in range(turns):
+                yield p.barrier(turn, n_nodes)
+                if p.pid < contention:
+                    yield from increment(p, counter, variant)
+
+        machine.spawn_all(program)
+        machine.run()
+        updates = turns * contention
+        value = machine.read_word(counter)
+        if value != updates:
+            raise AssertionError(
+                f"{strategy}: counter={value}, expected {updates}"
+            )
+        local_failures = sum(
+            node.controller.stats.sc_local_failures for node in machine.nodes
+        )
+        outcome.results[strategy] = (machine.now / updates, local_failures)
+    return outcome
+
+
+@dataclass
+class DropCopyAblation:
+    """(panel label, variant label) -> cycles/update."""
+
+    table: dict[tuple[str, str], float] = field(default_factory=dict)
+    panels: list[str] = field(default_factory=list)
+    variants: list[str] = field(default_factory=list)
+
+
+def run_dropcopy_ablation(config: SimConfig, turns: int = 6) -> DropCopyAblation:
+    """Sweep the lock-free counter with and without drop_copy."""
+    contention = min(16, config.machine.n_nodes)
+    specs = [
+        ("a=1", SyntheticSpec(contention=1, write_run=1.0, turns=turns)),
+        ("a=10", SyntheticSpec(contention=1, write_run=10.0, turns=turns)),
+        (f"c={contention}", SyntheticSpec(contention=contention, turns=turns)),
+    ]
+    variants = {
+        "INV": PrimitiveVariant("fap", SyncPolicy.INV),
+        "INV+dc": PrimitiveVariant("fap", SyncPolicy.INV, use_drop=True),
+        "UPD": PrimitiveVariant("fap", SyncPolicy.UPD),
+        "UPD+dc": PrimitiveVariant("fap", SyncPolicy.UPD, use_drop=True),
+    }
+    outcome = DropCopyAblation(
+        panels=[label for label, _ in specs],
+        variants=list(variants),
+    )
+    for spec_label, spec in specs:
+        for var_label, variant in variants.items():
+            result = run_lockfree_counter(variant, spec, config)
+            outcome.table[(spec_label, var_label)] = result.avg_cycles
+    return outcome

@@ -1,0 +1,60 @@
+"""Variant enumeration: the bars of Figures 3–6, in the paper's order.
+
+Each figure panel shows, left to right:
+
+* **UNC**: FAP, LLSC, CAS;
+* **INV** without drop_copy: FAP, LLSC, and four CAS bars — plain INV,
+  INVd, INVs, and INV with load_exclusive;
+* **INV** with drop_copy: the same six;
+* **UPD** without drop_copy: FAP, LLSC, CAS;
+* **UPD** with drop_copy: the same three.
+"""
+
+from __future__ import annotations
+
+from ..coherence.policy import SyncPolicy
+from ..sync.variant import PrimitiveVariant
+
+__all__ = ["figure_variants", "policy_survey_variants"]
+
+
+def _inv_group(use_drop: bool) -> list[PrimitiveVariant]:
+    return [
+        PrimitiveVariant("fap", SyncPolicy.INV, use_drop=use_drop),
+        PrimitiveVariant("llsc", SyncPolicy.INV, use_drop=use_drop),
+        PrimitiveVariant("cas", SyncPolicy.INV, use_drop=use_drop),
+        PrimitiveVariant("cas", SyncPolicy.INVD, use_drop=use_drop),
+        PrimitiveVariant("cas", SyncPolicy.INVS, use_drop=use_drop),
+        PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True, use_drop=use_drop),
+    ]
+
+
+def _upd_group(use_drop: bool) -> list[PrimitiveVariant]:
+    return [
+        PrimitiveVariant("fap", SyncPolicy.UPD, use_drop=use_drop),
+        PrimitiveVariant("llsc", SyncPolicy.UPD, use_drop=use_drop),
+        PrimitiveVariant("cas", SyncPolicy.UPD, use_drop=use_drop),
+    ]
+
+
+def figure_variants() -> list[PrimitiveVariant]:
+    """All 21 bars of one figure panel, in display order."""
+    variants = [
+        PrimitiveVariant("fap", SyncPolicy.UNC),
+        PrimitiveVariant("llsc", SyncPolicy.UNC),
+        PrimitiveVariant("cas", SyncPolicy.UNC),
+    ]
+    variants += _inv_group(use_drop=False)
+    variants += _inv_group(use_drop=True)
+    variants += _upd_group(use_drop=False)
+    variants += _upd_group(use_drop=True)
+    return variants
+
+
+def policy_survey_variants() -> list[PrimitiveVariant]:
+    """One representative variant per coherence policy (for Figure 2)."""
+    return [
+        PrimitiveVariant("fap", SyncPolicy.UNC),
+        PrimitiveVariant("fap", SyncPolicy.INV),
+        PrimitiveVariant("fap", SyncPolicy.UPD),
+    ]

@@ -1,0 +1,66 @@
+"""Figure 2: contention histograms of the real applications.
+
+For each of LocusRoute, Cholesky, and Transitive Closure, and for each
+coherence policy (UNC, INV, UPD), the histogram of the contention level
+observed at the beginning of each synchronization access, plus the average
+write-run lengths quoted in §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.cholesky import run_cholesky
+from ..apps.common import AppResult
+from ..apps.locusroute import run_locusroute
+from ..apps.tclosure import run_transitive_closure
+from ..config import SimConfig
+from .configs import policy_survey_variants
+
+__all__ = ["Figure2Result", "run_figure2"]
+
+
+@dataclass
+class Figure2Result:
+    """All Figure 2 measurements: app → policy → AppResult."""
+
+    apps: dict[str, dict[str, AppResult]] = field(default_factory=dict)
+
+    def histogram(self, app: str, policy: str) -> dict[int, float]:
+        """Contention histogram (level → percentage) for one app/policy."""
+        return self.apps[app][policy].contention_histogram
+
+    def write_run(self, app: str, policy: str) -> float:
+        """Average write-run length for one app/policy."""
+        return self.apps[app][policy].write_run
+
+
+def run_figure2(
+    config: SimConfig,
+    tclosure_size: int = 24,
+    locusroute_wires: int | None = None,
+    cholesky_columns: int | None = None,
+) -> Figure2Result:
+    """Run the three real applications under each coherence policy.
+
+    The lock applications' inputs default to sizes and task grains
+    proportional to the machine (see their docstrings) so the calibrated
+    sharing pattern holds at any scale.
+    """
+    result = Figure2Result()
+    for variant in policy_survey_variants():
+        policy = variant.policy.value
+        runs = {
+            "locusroute": run_locusroute(
+                variant, n_wires=locusroute_wires, config=config
+            ),
+            "cholesky": run_cholesky(
+                variant, n_columns=cholesky_columns, config=config
+            ),
+            "tclosure": run_transitive_closure(
+                variant, size=tclosure_size, config=config
+            ),
+        }
+        for app, app_result in runs.items():
+            result.apps.setdefault(app, {})[policy] = app_result
+    return result

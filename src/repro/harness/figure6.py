@@ -1,0 +1,82 @@
+"""Figure 6: total elapsed time of the real applications.
+
+For each of LocusRoute, Cholesky, and Transitive Closure: total cycles of
+the parallel section under every primitive/policy variant (the same 21
+bars as Figures 3–5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..apps.cholesky import run_cholesky
+from ..apps.locusroute import run_locusroute
+from ..apps.tclosure import run_transitive_closure
+from ..config import SimConfig
+from ..sync.variant import PrimitiveVariant
+from .configs import figure_variants
+from .report import render_table
+
+__all__ = ["Figure6Result", "run_figure6", "render_figure6"]
+
+
+@dataclass
+class Figure6Result:
+    """app → [(variant label, total cycles)]."""
+
+    apps: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def cycles(self, app: str, label: str) -> int:
+        """Total cycles for one app under one variant."""
+        for bar_label, cycles in self.apps[app]:
+            if bar_label == label:
+                return cycles
+        raise KeyError(label)
+
+
+def run_figure6(
+    config: SimConfig,
+    variants: Sequence[PrimitiveVariant] | None = None,
+    tclosure_size: int = 24,
+    locusroute_wires: int | None = None,
+    cholesky_columns: int | None = None,
+) -> Figure6Result:
+    """Run the three real applications under every variant.
+
+    Lock-application inputs default to machine-proportional sizes (see
+    the application docstrings).
+    """
+    if variants is None:
+        variants = figure_variants()
+    result = Figure6Result()
+    for variant in variants:
+        runs = {
+            "locusroute": run_locusroute(
+                variant, n_wires=locusroute_wires, config=config
+            ),
+            "cholesky": run_cholesky(
+                variant, n_columns=cholesky_columns, config=config
+            ),
+            "tclosure": run_transitive_closure(
+                variant, size=tclosure_size, config=config
+            ),
+        }
+        for app, app_result in runs.items():
+            result.apps.setdefault(app, []).append(
+                (variant.label, app_result.cycles)
+            )
+    return result
+
+
+def render_figure6(result: Figure6Result) -> str:
+    """Render all apps as one table: variants × apps."""
+    apps = sorted(result.apps)
+    if not apps:
+        return "Figure 6 (no data)"
+    headers = ["variant"] + apps
+    labels = [label for label, _ in result.apps[apps[0]]]
+    rows = []
+    for label in labels:
+        rows.append([label] + [result.cycles(app, label) for app in apps])
+    return render_table(headers, rows, title="Figure 6: total elapsed cycles")

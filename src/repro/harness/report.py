@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table", "render_histogram"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    histogram: dict[int, float], title: str = "", width: int = 40
+) -> str:
+    """Render a contention histogram as a horizontal bar chart."""
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max(histogram.values(), default=0.0)
+    for level in sorted(histogram):
+        pct = histogram[level]
+        bar = "#" * max(1, round(width * pct / peak)) if peak else ""
+        lines.append(f"{level:4d} | {pct:5.1f}% {bar}")
+    return "\n".join(lines)

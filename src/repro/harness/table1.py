@@ -1,0 +1,126 @@
+"""Table 1: serialized network messages for stores, by policy and state.
+
+The paper's Table 1:
+
+====================================  =====
+store target                          msgs
+====================================  =====
+UNC                                   2
+INV to cached exclusive               0
+INV to remote exclusive               4
+INV to remote shared                  3
+INV to uncached                       2
+UPD to cached                         3
+UPD to uncached                       2
+====================================  =====
+
+These are protocol properties, so our reproduction asserts them *exactly*.
+Each row is measured by staging the directory/caches into the named state
+with a preparatory access from another node, then issuing the store from
+the requesting node and reading the serialized-chain counter of its
+transaction.
+"""
+
+from __future__ import annotations
+
+from ..coherence.policy import SyncPolicy
+from ..config import SimConfig, small_config
+from ..machine.machine import Machine, build_machine
+
+__all__ = ["TABLE1_EXPECTED", "run_table1"]
+
+TABLE1_EXPECTED: dict[str, int] = {
+    "UNC": 2,
+    "INV to cached exclusive": 0,
+    "INV to remote exclusive": 4,
+    "INV to remote shared": 3,
+    "INV to uncached": 2,
+    "UPD to cached": 3,
+    "UPD to uncached": 2,
+}
+
+_REQUESTER = 0
+_OTHER = 2
+_HOME = 1
+
+
+def _machine(config: SimConfig | None) -> Machine:
+    return build_machine(config or small_config(n_nodes=4))
+
+
+def _store_once(machine: Machine, pid: int, addr: int, value: int) -> None:
+    """Run a single store by ``pid`` to completion."""
+
+    def program(p, addr=addr, value=value):
+        yield p.store(addr, value)
+
+    machine.spawn(pid, program)
+    machine.run()
+
+
+def _load_once(machine: Machine, pid: int, addr: int) -> None:
+    def program(p, addr=addr):
+        yield p.load(addr)
+
+    machine.spawn(pid, program)
+    machine.run()
+
+
+def _measured_chain(machine: Machine, pid: int) -> int:
+    return machine.nodes[pid].controller.last_chain
+
+
+def run_table1(config: SimConfig | None = None) -> dict[str, int]:
+    """Measure every Table 1 row; return {row label: serialized messages}."""
+    results: dict[str, int] = {}
+
+    # UNC: every store is two messages (request + reply), always.
+    machine = _machine(config)
+    addr = machine.alloc_sync(SyncPolicy.UNC, home=_HOME)
+    _store_once(machine, _REQUESTER, addr, 1)
+    results["UNC"] = _measured_chain(machine, _REQUESTER)
+
+    # INV to cached exclusive: second store hits the owned line.
+    machine = _machine(config)
+    addr = machine.alloc_sync(SyncPolicy.INV, home=_HOME)
+    _store_once(machine, _REQUESTER, addr, 1)
+    _store_once(machine, _REQUESTER, addr, 2)
+    results["INV to cached exclusive"] = _measured_chain(machine, _REQUESTER)
+
+    # INV to remote exclusive: another node owns the line; ownership is
+    # transferred through the home (4 serialized messages).
+    machine = _machine(config)
+    addr = machine.alloc_sync(SyncPolicy.INV, home=_HOME)
+    _store_once(machine, _OTHER, addr, 1)
+    _store_once(machine, _REQUESTER, addr, 2)
+    results["INV to remote exclusive"] = _measured_chain(machine, _REQUESTER)
+
+    # INV to remote shared: another node holds a read-only copy; the home
+    # invalidates it and the sharer acks the requester (3 serialized).
+    machine = _machine(config)
+    addr = machine.alloc_sync(SyncPolicy.INV, home=_HOME)
+    _load_once(machine, _OTHER, addr)
+    _store_once(machine, _REQUESTER, addr, 2)
+    results["INV to remote shared"] = _measured_chain(machine, _REQUESTER)
+
+    # INV to uncached: the line is in memory only (2 serialized).
+    machine = _machine(config)
+    addr = machine.alloc_sync(SyncPolicy.INV, home=_HOME)
+    _store_once(machine, _REQUESTER, addr, 1)
+    results["INV to uncached"] = _measured_chain(machine, _REQUESTER)
+
+    # UPD to cached: another node holds a copy; the memory applies the
+    # store and the sharer acknowledges the update to the requester.
+    machine = _machine(config)
+    addr = machine.alloc_sync(SyncPolicy.UPD, home=_HOME)
+    _load_once(machine, _OTHER, addr)
+    _store_once(machine, _REQUESTER, addr, 2)
+    results["UPD to cached"] = _measured_chain(machine, _REQUESTER)
+
+    # UPD to uncached: no copies anywhere; request + reply only.
+    machine = _machine(config)
+    addr = machine.alloc_sync(SyncPolicy.UPD, home=_HOME)
+    _store_once(machine, _REQUESTER, addr, 1)
+    results["UPD to uncached"] = _measured_chain(machine, _REQUESTER)
+
+    return results

@@ -1,0 +1,6 @@
+"""The assembled DSM multiprocessor."""
+
+from .address import AddressSpace
+from .machine import Machine, Node, build_machine
+
+__all__ = ["AddressSpace", "Machine", "Node", "build_machine"]

@@ -1,0 +1,99 @@
+"""The physical address space and its allocator.
+
+Addresses are plain integers.  Memory is block-interleaved across the
+nodes: block ``b`` is homed at node ``b % n_nodes``, as on DASH-class
+machines.  The allocator carves two disjoint regions:
+
+* a *singles* region for synchronization variables, where each allocation
+  receives its own cache block (no false sharing) homed at a caller-chosen
+  node;
+* an *array* region for bulk data, where consecutive blocks are allocated
+  contiguously (their homes rotate across the nodes naturally).
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import AddressError
+
+__all__ = ["AddressSpace"]
+
+_ARRAY_REGION_BLOCK = 1 << 20
+"""First block of the bulk-array region; singles stay below this."""
+
+
+class AddressSpace:
+    """Address arithmetic plus a simple two-region block allocator."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.n_nodes = config.n_nodes
+        self.block_size = config.block_size
+        self.word_size = config.word_size
+        self.block_bits = config.block_bits
+        # Next per-home block index k (block = k * n_nodes + home).
+        self._next_single = [0] * self.n_nodes
+        self._next_array_block = _ARRAY_REGION_BLOCK
+
+    # ------------------------------------------------------------------
+    # Address arithmetic.
+    # ------------------------------------------------------------------
+
+    def block_of(self, addr: int) -> int:
+        """Block number containing ``addr``."""
+        if addr < 0:
+            raise AddressError(f"negative address {addr}")
+        return addr >> self.block_bits
+
+    def offset_of(self, addr: int) -> int:
+        """Word offset of ``addr`` within its block."""
+        if addr % self.word_size:
+            raise AddressError(f"address {addr:#x} is not word aligned")
+        return (addr & (self.block_size - 1)) // self.word_size
+
+    def home_of(self, block: int) -> int:
+        """Home node of ``block`` (block-interleaved memory)."""
+        return block % self.n_nodes
+
+    def addr_of(self, block: int, offset: int = 0) -> int:
+        """Address of word ``offset`` within ``block``."""
+        if not 0 <= offset < self.config.words_per_block:
+            raise AddressError(f"word offset {offset} outside block")
+        return (block << self.block_bits) + offset * self.word_size
+
+    # ------------------------------------------------------------------
+    # Allocation.
+    # ------------------------------------------------------------------
+
+    def alloc_block(self, home: int | None = None) -> int:
+        """Allocate one private block; return its base address.
+
+        Synchronization variables get whole blocks to avoid false sharing
+        (the usual practice on real machines).  ``home`` selects the node
+        whose memory holds the block; defaults to node 0.
+        """
+        if home is None:
+            home = 0
+        if not 0 <= home < self.n_nodes:
+            raise AddressError(f"home {home} outside machine of {self.n_nodes}")
+        k = self._next_single[home]
+        self._next_single[home] = k + 1
+        block = k * self.n_nodes + home
+        if block >= _ARRAY_REGION_BLOCK:
+            raise AddressError("singles region exhausted")
+        return block << self.block_bits
+
+    def alloc_array(self, n_words: int) -> int:
+        """Allocate ``n_words`` contiguous words; return the base address.
+
+        Blocks are consecutive, so their home nodes interleave round-robin
+        — the distribution a compiler/OS would produce for a large shared
+        array.
+        """
+        if n_words <= 0:
+            raise AddressError("array allocation must be positive")
+        words_per_block = self.config.words_per_block
+        n_blocks = -(-n_words // words_per_block)
+        base_block = self._next_array_block
+        self._next_array_block += n_blocks
+        return base_block << self.block_bits

@@ -1,0 +1,25 @@
+"""Distributed memory: queued modules, directories, LL/SC reservations."""
+
+from .module import MemoryModule
+from .directory import Directory, DirectoryEntry, DirState
+from .reservations import (
+    ReservationTable,
+    BitVectorReservations,
+    LimitedReservations,
+    SerialNumberReservations,
+    LinkedListReservations,
+    make_reservation_table,
+)
+
+__all__ = [
+    "MemoryModule",
+    "Directory",
+    "DirectoryEntry",
+    "DirState",
+    "ReservationTable",
+    "BitVectorReservations",
+    "LimitedReservations",
+    "SerialNumberReservations",
+    "LinkedListReservations",
+    "make_reservation_table",
+]

@@ -1,0 +1,101 @@
+"""Full-bit-vector directory state, one entry per locally-homed block.
+
+The directory records, for every memory block homed at a node, which
+caches hold copies and in what mode.  Entries also carry the home-side
+transaction bookkeeping: a ``busy`` flag set while an ownership transfer
+is in flight, and a FIFO of requests that arrived while busy (the paper's
+"queued memory" discipline extends to the directory).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ProtocolError
+
+__all__ = ["DirState", "DirectoryEntry", "Directory"]
+
+
+class DirState(enum.Enum):
+    """Stable states of a directory entry."""
+
+    UNCACHED = "uncached"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory record for one block."""
+
+    state: DirState = DirState.UNCACHED
+    sharers: set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+    busy: bool = False
+    # Requests that arrived while the entry was busy, replayed FIFO.
+    waiters: deque = field(default_factory=deque)
+    # Home-side context of the in-flight transaction (message being served).
+    pending: Any = None
+    # Set when a recall found the owner gone (it raced a drop_copy or an
+    # eviction); the entry stays busy until the in-flight writeback lands.
+    awaiting_wb: bool = False
+
+    def set_uncached(self) -> None:
+        """Transition to UNCACHED, clearing copy bookkeeping."""
+        self.state = DirState.UNCACHED
+        self.sharers.clear()
+        self.owner = None
+
+    def set_shared(self, sharers: set[int]) -> None:
+        """Transition to SHARED with the given copy holders."""
+        if not sharers:
+            self.set_uncached()
+            return
+        self.state = DirState.SHARED
+        self.sharers = set(sharers)
+        self.owner = None
+
+    def set_exclusive(self, owner: int) -> None:
+        """Transition to EXCLUSIVE with a single owning cache."""
+        self.state = DirState.EXCLUSIVE
+        self.sharers.clear()
+        self.owner = owner
+
+    def add_sharer(self, node: int) -> None:
+        """Add one sharer (entry must not be EXCLUSIVE)."""
+        if self.state is DirState.EXCLUSIVE:
+            raise ProtocolError("cannot add a sharer to an exclusive entry")
+        self.sharers.add(node)
+        self.state = DirState.SHARED
+
+    def remove_sharer(self, node: int) -> None:
+        """Drop one sharer; collapses to UNCACHED when none remain."""
+        self.sharers.discard(node)
+        if self.state is DirState.SHARED and not self.sharers:
+            self.set_uncached()
+
+
+class Directory:
+    """All directory entries homed at one node (created on demand)."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._entries: dict[int, DirectoryEntry] = {}
+
+    def entry(self, block: int) -> DirectoryEntry:
+        """The entry for ``block``, creating an UNCACHED one if absent."""
+        ent = self._entries.get(block)
+        if ent is None:
+            ent = DirectoryEntry()
+            self._entries[block] = ent
+        return ent
+
+    def known_blocks(self) -> list[int]:
+        """Blocks with materialized entries (for inspection/tests)."""
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

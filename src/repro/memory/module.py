@@ -1,0 +1,104 @@
+"""Queued memory modules.
+
+Each node hosts one memory module holding its slice of the interleaved
+physical address space.  The module is *queued*: requests are serviced one
+at a time, FIFO, each taking ``memory_service`` cycles, so memory
+contention shows up as queuing delay — exactly the behaviour the paper's
+back end models.
+
+Data is stored per block as a list of words; blocks spring into existence
+zero-filled, like real DRAM after initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..config import SimConfig
+from ..sim.engine import Simulator
+
+__all__ = ["MemoryModule"]
+
+
+@dataclass
+class MemoryStats:
+    """Counters for one memory module."""
+
+    accesses: int = 0
+    total_queue_wait: int = 0
+
+    @property
+    def mean_queue_wait(self) -> float:
+        """Average cycles a request waited before service began."""
+        return self.total_queue_wait / self.accesses if self.accesses else 0.0
+
+
+class MemoryModule:
+    """One node's memory: block storage plus a FIFO service queue."""
+
+    def __init__(self, sim: Simulator, node: int, config: SimConfig) -> None:
+        self.sim = sim
+        self.node = node
+        self.config = config
+        self.words_per_block = config.machine.words_per_block
+        self._blocks: dict[int, list[int]] = {}
+        self._next_free = 0
+        self.stats = MemoryStats()
+
+    # ------------------------------------------------------------------
+    # Data access (zero latency; timing is applied via `service`).
+    # ------------------------------------------------------------------
+
+    def read_block(self, block: int) -> list[int]:
+        """Return a copy of the block's words."""
+        return list(self._block(block))
+
+    def write_block(self, block: int, words: list[int]) -> None:
+        """Replace the block's contents."""
+        data = self._block(block)
+        if len(words) != self.words_per_block:
+            raise ValueError(
+                f"block write needs {self.words_per_block} words, got {len(words)}"
+            )
+        data[:] = words
+
+    def read_word(self, block: int, offset: int) -> int:
+        """Read one word of a block (``offset`` in words)."""
+        return self._block(block)[offset]
+
+    def write_word(self, block: int, offset: int, value: int) -> None:
+        """Write one word of a block."""
+        self._block(block)[offset] = value
+
+    def _block(self, block: int) -> list[int]:
+        data = self._blocks.get(block)
+        if data is None:
+            data = [0] * self.words_per_block
+            self._blocks[block] = data
+        return data
+
+    # ------------------------------------------------------------------
+    # Queued service.
+    # ------------------------------------------------------------------
+
+    def service(
+        self,
+        fn: Callable[..., None],
+        *args: Any,
+        service_time: int | None = None,
+    ) -> None:
+        """Enqueue a request; run ``fn(*args)`` when service completes.
+
+        Models the FIFO memory queue: the request waits until the module is
+        free, then occupies it for ``memory_service`` cycles (or
+        ``service_time``, for directory-only work).
+        """
+        now = self.sim.now
+        start = max(now, self._next_free)
+        service = (self.config.timing.memory_service
+                   if service_time is None else service_time)
+        self._next_free = start + service
+        self.stats.accesses += 1
+        self.stats.total_queue_wait += start - now
+        self.sim.schedule(start + service - now, fn, *args)

@@ -1,0 +1,7 @@
+"""2-D wormhole mesh interconnect model."""
+
+from .message import Message, MessageType, Unit
+from .topology import Mesh2D
+from .mesh import WormholeMesh, NetworkStats
+
+__all__ = ["Message", "MessageType", "Unit", "Mesh2D", "WormholeMesh", "NetworkStats"]

@@ -1,0 +1,125 @@
+"""Wormhole-routed mesh with entry/exit port contention.
+
+Latency model (matching the paper's description of its back end):
+
+* Each node has one network-entry port and one network-exit port, each able
+  to accept one flit per ``flit_cycles`` cycles.  Messages queue FIFO at
+  these ports; this is the only place network contention is modeled
+  ("contention at the entry and exit of the network, though not at internal
+  nodes").
+* Once injected, a message pipelines through the mesh wormhole-style: the
+  head flit pays ``hop_cycles`` per hop and the remaining flits stream
+  behind it, so transit time is ``hops * hop_cycles + (flits - 1) *
+  flit_cycles``.
+* Node-local messages (``src == dst``) bypass the network entirely and pay
+  a small fixed bus latency.
+
+Delivery invokes a handler registered per (node, unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import SimConfig
+from ..errors import SimulationError
+from ..sim.engine import Simulator
+from .message import Message, Unit
+from .topology import Mesh2D
+
+__all__ = ["WormholeMesh", "NetworkStats"]
+
+Handler = Callable[[Message], None]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate network counters."""
+
+    messages: int = 0
+    local_messages: int = 0
+    flits: int = 0
+    total_latency: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def record(self, msg: Message, flits: int, latency: int, local: bool) -> None:
+        """Account one delivered message."""
+        if local:
+            self.local_messages += 1
+        else:
+            self.messages += 1
+            self.flits += flits
+            self.total_latency += latency
+        key = msg.mtype.value
+        self.by_type[key] = self.by_type.get(key, 0) + 1
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean network latency of non-local messages."""
+        return self.total_latency / self.messages if self.messages else 0.0
+
+
+class WormholeMesh:
+    """The interconnect: routes :class:`Message` objects between nodes."""
+
+    def __init__(self, sim: Simulator, config: SimConfig) -> None:
+        self.sim = sim
+        self.config = config
+        machine = config.machine
+        self.topology = Mesh2D(machine.n_nodes, machine.mesh_width)
+        self._handlers: dict[tuple[int, Unit], Handler] = {}
+        # Earliest cycle at which each port can begin accepting a message.
+        self._entry_free = [0] * machine.n_nodes
+        self._exit_free = [0] * machine.n_nodes
+        self.stats = NetworkStats()
+        # Optional observer(msg, send_time, deliver_time) for tracing.
+        self.observer: Callable[[Message, int, int], None] | None = None
+
+    def register(self, node: int, unit: Unit, handler: Handler) -> None:
+        """Install the delivery handler for ``unit`` at ``node``."""
+        self._handlers[(node, unit)] = handler
+
+    def message_flits(self, msg: Message) -> int:
+        """Size of ``msg`` in flits."""
+        timing = self.config.timing
+        if msg.mtype.carries_data:
+            return self.config.machine.data_flits(timing)
+        return timing.header_flits
+
+    def send(self, msg: Message) -> None:
+        """Inject ``msg``; schedules its delivery at the destination."""
+        handler = self._handlers.get((msg.dst, msg.unit))
+        if handler is None:
+            raise SimulationError(
+                f"no handler registered for node {msg.dst} unit {msg.unit}"
+            )
+        timing = self.config.timing
+        flits = self.message_flits(msg)
+        now = self.sim.now
+
+        if msg.src == msg.dst:
+            # Node-local: cache <-> local memory over the node bus.
+            self.stats.record(msg, flits, timing.local_access, local=True)
+            if self.observer is not None:
+                self.observer(msg, now, now + timing.local_access)
+            self.sim.schedule(timing.local_access, handler, msg)
+            return
+
+        serialize = flits * timing.flit_cycles
+        # Entry-port queuing at the source.
+        inject = max(now, self._entry_free[msg.src])
+        self._entry_free[msg.src] = inject + serialize
+        # Wormhole transit.
+        hops = self.topology.distance(msg.src, msg.dst)
+        head_arrival = inject + hops * timing.hop_cycles
+        tail_arrival = head_arrival + (flits - 1) * timing.flit_cycles
+        # Exit-port queuing at the destination.
+        ready = max(tail_arrival, self._exit_free[msg.dst])
+        self._exit_free[msg.dst] = ready + serialize
+        done = ready + serialize
+
+        self.stats.record(msg, flits, done - now, local=False)
+        if self.observer is not None:
+            self.observer(msg, now, done)
+        self.sim.schedule(done - now, handler, msg)

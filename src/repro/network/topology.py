@@ -1,0 +1,100 @@
+"""2-D mesh topology: node coordinates and X-Y routing distances."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = ["Mesh2D"]
+
+
+class Mesh2D:
+    """A (near-)square 2-D mesh with deterministic X-Y routing.
+
+    Nodes are numbered row-major: node ``i`` sits at
+    ``(i % width, i // width)``.  With dimension-ordered (X-Y) routing the
+    path length between two nodes is their Manhattan distance, which is all
+    the latency model needs — the paper models contention only at the entry
+    and exit of the network, not at internal switches.
+    """
+
+    def __init__(self, n_nodes: int, width: int | None = None) -> None:
+        if n_nodes < 1:
+            raise ConfigError("mesh needs at least one node")
+        if width is None:
+            width = max(1, int(n_nodes**0.5))
+        if width < 1:
+            raise ConfigError("mesh width must be positive")
+        self.n_nodes = n_nodes
+        self.width = width
+        self.height = -(-n_nodes // width)
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """Return the ``(x, y)`` position of ``node``."""
+        self._check(node)
+        return node % self.width, node // self.width
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan (X-Y routing) hop count between nodes ``a`` and ``b``."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def route(self, a: int, b: int) -> list[int]:
+        """A dimension-ordered route from ``a`` to ``b``, inclusive.
+
+        X-then-Y by default; when the machine does not fill its last mesh
+        row (``n_nodes < width * height``) and the X-first path would
+        pass through a position with no node, the Y-then-X route is used
+        instead.  Both have minimal (Manhattan) length.
+        """
+        for x_first in (True, False):
+            path = self._dimension_ordered(a, b, x_first)
+            if all(node < self.n_nodes for node in path):
+                return path
+        raise ConfigError(
+            f"no dimension-ordered route {a} -> {b} on this partial mesh"
+        )
+
+    def _dimension_ordered(self, a: int, b: int, x_first: bool) -> list[int]:
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        path = [a]
+        x, y = ax, ay
+
+        def walk_x():
+            nonlocal x
+            step = 1 if bx > x else -1
+            while x != bx:
+                x += step
+                path.append(y * self.width + x)
+
+        def walk_y():
+            nonlocal y
+            step = 1 if by > y else -1
+            while y != by:
+                y += step
+                path.append(y * self.width + x)
+
+        if x_first:
+            walk_x()
+            walk_y()
+        else:
+            walk_y()
+            walk_x()
+        return path
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered pairs of distinct nodes."""
+        if self.n_nodes == 1:
+            return 0.0
+        total = sum(
+            self.distance(a, b)
+            for a in range(self.n_nodes)
+            for b in range(self.n_nodes)
+            if a != b
+        )
+        return total / (self.n_nodes * (self.n_nodes - 1))
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ConfigError(f"node {node} outside mesh of {self.n_nodes}")

@@ -1,0 +1,40 @@
+"""Atomic-primitive definitions: operation types and their semantics."""
+
+from .ops import (
+    Op,
+    Load,
+    Store,
+    LoadExclusive,
+    DropCopy,
+    FetchAndPhi,
+    CompareAndSwap,
+    LoadLinked,
+    StoreConditional,
+    Think,
+    MagicBarrier,
+    ContendBegin,
+    ContendEnd,
+    LLValue,
+    CasResult,
+)
+from .semantics import PhiOp, apply_phi
+
+__all__ = [
+    "Op",
+    "Load",
+    "Store",
+    "LoadExclusive",
+    "DropCopy",
+    "FetchAndPhi",
+    "CompareAndSwap",
+    "LoadLinked",
+    "StoreConditional",
+    "Think",
+    "MagicBarrier",
+    "ContendBegin",
+    "ContendEnd",
+    "LLValue",
+    "CasResult",
+    "PhiOp",
+    "apply_phi",
+]

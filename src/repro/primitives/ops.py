@@ -1,0 +1,207 @@
+"""Operation objects yielded by simulated programs.
+
+A program is a Python generator; every memory access, atomic primitive,
+auxiliary instruction, local-compute delay, or experiment-control action is
+expressed by yielding one of these objects.  The processor shell hands
+memory operations to the cache controller and resumes the generator with
+the operation's result:
+
+========================  =====================================
+operation                 result of the ``yield``
+========================  =====================================
+:class:`Load`             the word's value
+:class:`Store`            ``None``
+:class:`LoadExclusive`    the word's value
+:class:`DropCopy`         ``None``
+:class:`FetchAndPhi`      the *old* value
+:class:`CompareAndSwap`   :class:`CasResult` (truthy on success)
+:class:`LoadLinked`       :class:`LLValue`
+:class:`StoreConditional` ``bool`` (success)
+:class:`Think`            ``None``
+:class:`MagicBarrier`     ``None``
+:class:`ContendBegin`     ``None`` (statistics hook, zero time)
+:class:`ContendEnd`       ``None`` (statistics hook, zero time)
+========================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .semantics import PhiOp
+
+__all__ = [
+    "Op",
+    "Load",
+    "Store",
+    "LoadExclusive",
+    "DropCopy",
+    "FetchAndPhi",
+    "CompareAndSwap",
+    "LoadLinked",
+    "StoreConditional",
+    "Think",
+    "MagicBarrier",
+    "ContendBegin",
+    "ContendEnd",
+    "LLValue",
+    "CasResult",
+]
+
+
+class Op:
+    """Base class for everything a program may yield."""
+
+    __slots__ = ()
+
+
+class MemOp(Op):
+    """Base class for operations that reference a memory address."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Load(MemOp):
+    """Ordinary word load."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Store(MemOp):
+    """Ordinary word store."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class LoadExclusive(MemOp):
+    """Auxiliary instruction: load that acquires an exclusive copy.
+
+    Under INV it primes the line for an upcoming compare_and_swap (or for
+    migratory data) so the atomic update hits locally.  Under UPD/UNC it
+    behaves as an ordinary load.
+    """
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class DropCopy(MemOp):
+    """Auxiliary instruction: self-invalidate the cached line, if any.
+
+    An exclusive line is written back; a shared copy sends a drop notice so
+    the directory can forget the sharer.  A subsequent writer then finds
+    the line uncached and pays 2 serialized messages instead of 3 or 4.
+    """
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class FetchAndPhi(MemOp):
+    """The fetch_and_phi family (fetch_and_add, test_and_set, ...)."""
+
+    addr: int
+    phi: PhiOp
+    operand: int = 0
+
+
+@dataclass(frozen=True)
+class CompareAndSwap(MemOp):
+    """compare_and_swap(addr, expected, new) -> CasResult."""
+
+    addr: int
+    expected: int
+    new: int
+
+
+@dataclass(frozen=True)
+class LoadLinked(MemOp):
+    """load_linked(addr) -> LLValue; sets a reservation."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class StoreConditional(MemOp):
+    """store_conditional(addr, value[, token]) -> bool.
+
+    ``token`` is only meaningful with the serial-number reservation
+    strategy, where it enables a *bare* store_conditional: a processor that
+    knows the expected serial number may attempt the store without a
+    preceding load_linked (paper §3.1).  When ``None``, the token from the
+    most recent load_linked is used.
+    """
+
+    addr: int
+    value: int
+    token: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Think(Op):
+    """Local computation for ``cycles`` cycles; no memory traffic."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class MagicBarrier(Op):
+    """Constant-time barrier, as provided by MINT in the paper.
+
+    Used by the synthetic applications to control sharing patterns.  It
+    aligns the participating processors' clocks at the latest arrival time
+    and costs nothing else — no memory or network traffic.  Real
+    applications use the memory-based tree barrier in
+    :mod:`repro.sync.barrier` instead.
+    """
+
+    barrier_id: int
+    participants: int
+
+
+@dataclass(frozen=True)
+class ContendBegin(Op):
+    """Statistics hook: this processor starts contending for ``addr``."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class ContendEnd(Op):
+    """Statistics hook: this processor stops contending for ``addr``."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class LLValue:
+    """Result of a load_linked.
+
+    Attributes:
+        value: The word read.
+        token: Serial-number token to pass to a matching
+            store_conditional (serial strategy only; ``None`` otherwise).
+        doomed: True when the memory could not record the reservation
+            (limited strategy over capacity); the matching
+            store_conditional will fail locally without network traffic.
+    """
+
+    value: int
+    token: Optional[int] = None
+    doomed: bool = False
+
+
+@dataclass(frozen=True)
+class CasResult:
+    """Result of a compare_and_swap: success flag plus the old value."""
+
+    success: bool
+    old: int
+
+    def __bool__(self) -> bool:
+        return self.success

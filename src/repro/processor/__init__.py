@@ -1,0 +1,7 @@
+"""The processor model: program shells and the program-facing API."""
+
+from .processor import Processor
+from .api import Proc
+from .magic import BarrierManager
+
+__all__ = ["Processor", "Proc", "BarrierManager"]

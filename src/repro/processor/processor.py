@@ -1,0 +1,87 @@
+"""The in-order processor shell.
+
+Each node has one processor, which executes exactly one program.  Programs
+are generators yielding operation objects (see
+:mod:`repro.primitives.ops`); the processor interprets them:
+
+* memory operations and atomic primitives go to the node's cache
+  controller and block the processor until the result returns;
+* :class:`~repro.primitives.ops.Think` models local computation;
+* :class:`~repro.primitives.ops.MagicBarrier` aligns processors through
+  the constant-time barrier manager;
+* the contend hooks feed the contention tracker in zero simulated time.
+
+The processor also keeps the per-processor deterministic RNG used by
+backoff code, seeded from the machine seed and the pid.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..errors import ProgramError
+from ..primitives import ops as _ops
+from ..primitives.ops import ContendBegin, ContendEnd, MagicBarrier
+from ..sim.process import Process
+
+__all__ = ["Processor"]
+
+
+class Processor:
+    """Drives one program against one cache controller."""
+
+    def __init__(self, pid: int, machine: Any) -> None:
+        self.pid = pid
+        self.machine = machine
+        self.sim = machine.sim
+        self.controller = machine.nodes[pid].controller
+        self.rng = random.Random((machine.config.seed << 20) ^ pid)
+        self.process: Process | None = None
+        self.ops_issued = 0
+        self.finish_time: int | None = None
+
+    def run_program(self, generator) -> Process:
+        """Attach and start a program generator."""
+        if self.process is not None and not self.process.done:
+            raise ProgramError(f"processor {self.pid} is already running")
+        self.process = Process(
+            name=f"cpu{self.pid}",
+            generator=generator,
+            interpreter=self._interpret,
+            on_exit=self._on_exit,
+        )
+        self.sim.schedule(0, self.process.start)
+        return self.process
+
+    @property
+    def done(self) -> bool:
+        """True once the attached program has returned."""
+        return self.process is not None and self.process.done
+
+    def _on_exit(self, process: Process) -> None:
+        self.finish_time = self.sim.now
+        self.machine.on_processor_exit(self)
+
+    def _interpret(self, process: Process, op: Any) -> None:
+        if isinstance(op, _ops.Think):
+            if op.cycles < 0:
+                raise ProgramError("think() needs a non-negative cycle count")
+            self.sim.schedule(op.cycles, process.resume, None)
+            return
+        if isinstance(op, MagicBarrier):
+            self.machine.barriers.arrive(op.barrier_id, op.participants, process)
+            return
+        if isinstance(op, ContendBegin):
+            self.machine.stats.contention.begin(op.addr, self.pid)
+            self.sim.schedule(0, process.resume, None)
+            return
+        if isinstance(op, ContendEnd):
+            self.machine.stats.contention.end(op.addr, self.pid)
+            self.sim.schedule(0, process.resume, None)
+            return
+        if isinstance(op, _ops.MemOp):
+            self.ops_issued += 1
+            self.controller.execute(op, process.resume)
+            return
+        raise ProgramError(f"program yielded a non-operation: {op!r}")

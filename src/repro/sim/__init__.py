@@ -1,0 +1,6 @@
+"""Discrete-event simulation core: event queue, clock, process shells."""
+
+from .engine import Simulator
+from .process import Process
+
+__all__ = ["Simulator", "Process"]

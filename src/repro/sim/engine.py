@@ -1,0 +1,95 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns a monotonically increasing cycle counter and a
+priority queue of pending events.  Components schedule callbacks with
+:meth:`Simulator.schedule`; :meth:`Simulator.run` drains the queue in
+timestamp order.  Ties are broken by insertion order, which makes every
+simulation fully deterministic.
+
+The engine knows nothing about multiprocessors; the machine model in
+:mod:`repro.machine` is built entirely out of scheduled callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with an integer clock."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self.events_processed: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time, in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current cycle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.at(self._now + delay, fn, *args)
+
+    def at(self, time: int, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        heapq.heappush(self._queue, (time, self._seq, fn, args))
+        self._seq += 1
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Args:
+            until: Stop (without executing) events after this cycle.
+            max_events: Safety valve; raise :class:`SimulationError` if more
+                than this many events execute (deadlock/livelock detector
+                for tests).
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                time, _seq, fn, args = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                fn(*args)
+                executed += 1
+                self.events_processed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely livelock"
+                    )
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of events currently queued."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now}, pending={len(self._queue)})"

@@ -1,0 +1,7 @@
+"""Sharing-pattern and protocol statistics."""
+
+from .contention import ContentionTracker
+from .writerun import WriteRunTracker
+from .collect import MachineStats
+
+__all__ = ["ContentionTracker", "WriteRunTracker", "MachineStats"]

@@ -1,0 +1,41 @@
+"""Machine-wide statistics aggregation."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .contention import ContentionTracker
+from .writerun import WriteRunTracker
+
+__all__ = ["MachineStats"]
+
+
+@dataclass
+class MachineStats:
+    """All cross-cutting counters of one simulation.
+
+    Component-local counters (cache hit rates, memory queue waits, network
+    flits) live on the components; this object holds the sharing-pattern
+    statistics the paper's evaluation is built on, plus per-transaction
+    serialized-message accounting.
+    """
+
+    contention: ContentionTracker = field(default_factory=ContentionTracker)
+    writerun: WriteRunTracker = field(default_factory=WriteRunTracker)
+    transactions: Counter = field(default_factory=Counter)
+    chain_total: Counter = field(default_factory=Counter)
+
+    def note_access(self, addr: int, pid: int, is_write: bool) -> None:
+        """Record a program-level access for write-run tracking."""
+        self.writerun.note_access(addr, pid, is_write)
+
+    def note_transaction(self, kind: str, chain: int) -> None:
+        """Record a completed requester transaction and its chain depth."""
+        self.transactions[kind] += 1
+        self.chain_total[kind] += chain
+
+    def mean_chain(self, kind: str) -> float:
+        """Mean serialized messages for transactions of ``kind``."""
+        n = self.transactions.get(kind, 0)
+        return self.chain_total.get(kind, 0) / n if n else 0.0

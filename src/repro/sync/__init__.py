@@ -1,0 +1,48 @@
+"""Synchronization algorithms built on the atomic primitives.
+
+Everything here is a *simulated program fragment*: generators used with
+``yield from`` inside programs running on the machine.  The library covers
+the algorithms the paper's experiments use:
+
+* lock-free counters (fetch_and_add, compare_and_swap loop, LL/SC loop);
+* the test-and-test-and-set lock with bounded exponential backoff,
+  implementable with any of the three primitive families;
+* the MCS queue lock (native fetch_and_store + compare_and_swap, the
+  LL/SC-simulated version, and the fetch_and_store-only variant);
+* the scalable (MCS) tree barrier;
+
+plus the synchronization styles the paper cites as motivation for
+universal primitives:
+
+* reader-writer locks in all three primitive families;
+* lock-free objects (the Treiber stack and the Michael & Scott queue);
+* the §2.2 primitive-simulation fragments (fetch_and_phi from CAS or
+  LL/SC, compare_and_swap from LL/SC).
+"""
+
+from .backoff import Backoff
+from .emulation import fetch_phi_via_cas, fetch_phi_via_llsc, cas_via_llsc
+from .counters import increment, read_counter
+from .variant import PrimitiveVariant
+from .tts_lock import TtsLock
+from .mcs_lock import McsLock
+from .rwlock import ReaderWriterLock
+from .lockfree import TreiberStack, LockFreeQueue, EMPTY
+from .barrier import TreeBarrier
+
+__all__ = [
+    "Backoff",
+    "fetch_phi_via_cas",
+    "fetch_phi_via_llsc",
+    "cas_via_llsc",
+    "increment",
+    "read_counter",
+    "PrimitiveVariant",
+    "TtsLock",
+    "McsLock",
+    "ReaderWriterLock",
+    "TreiberStack",
+    "LockFreeQueue",
+    "EMPTY",
+    "TreeBarrier",
+]

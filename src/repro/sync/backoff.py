@@ -1,0 +1,37 @@
+"""Bounded exponential backoff.
+
+Used by the test-and-test-and-set lock, exactly as in the paper ("the
+test-and-test-and-set lock with bounded exponential backoff").  Delays are
+drawn uniformly from ``[0, limit)`` and the limit doubles on every failure
+up to a cap, resetting on success.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigError
+
+__all__ = ["Backoff"]
+
+
+class Backoff:
+    """Per-acquisition bounded exponential backoff state."""
+
+    def __init__(self, rng: random.Random, base: int = 16, cap: int = 1024) -> None:
+        if base < 1 or cap < base:
+            raise ConfigError("backoff needs 1 <= base <= cap")
+        self.rng = rng
+        self.base = base
+        self.cap = cap
+        self._limit = base
+
+    def next_delay(self) -> int:
+        """Cycles to wait before the next attempt; doubles the limit."""
+        delay = self.rng.randrange(self._limit)
+        self._limit = min(self._limit * 2, self.cap)
+        return delay
+
+    def reset(self) -> None:
+        """Success: restart from the base limit."""
+        self._limit = self.base

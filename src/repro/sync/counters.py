@@ -1,0 +1,46 @@
+"""Lock-free shared counters.
+
+The first synthetic application of the paper: a counter updated with
+fetch_and_add directly, or with compare_and_swap / LL-SC loops simulating
+it.  The CAS loop optionally reads with ``load_exclusive`` (the paper's
+recommended combination) and every variant can ``drop_copy`` the line
+after the update.
+
+These are program fragments: use ``old = yield from increment(p, addr,
+variant)``.
+"""
+
+from __future__ import annotations
+
+from ..processor.api import Proc
+from ..primitives.semantics import PhiOp
+from .emulation import fetch_phi_via_cas, fetch_phi_via_llsc
+from .variant import PrimitiveVariant
+
+__all__ = ["increment", "read_counter"]
+
+
+def increment(p: Proc, addr: int, variant: PrimitiveVariant, amount: int = 1):
+    """Atomically add ``amount`` to the counter; return the old value.
+
+    Lock-free under every variant: some processor always completes in a
+    bounded number of protocol steps.
+    """
+    yield p.contend_begin(addr)
+    if variant.family == "fap":
+        old = yield p.fetch_add(addr, amount)
+    elif variant.family == "cas":
+        old = yield from fetch_phi_via_cas(p, addr, PhiOp.ADD, amount,
+                                           use_lx=variant.use_lx)
+    else:
+        old = yield from fetch_phi_via_llsc(p, addr, PhiOp.ADD, amount)
+    if variant.use_drop:
+        yield p.drop_copy(addr)
+    yield p.contend_end(addr)
+    return old
+
+
+def read_counter(p: Proc, addr: int):
+    """Read the counter's current value (ordinary load)."""
+    value = yield p.load(addr)
+    return value

@@ -1,0 +1,79 @@
+"""Simulating one atomic primitive with another (paper §2.2).
+
+Herlihy's hierarchy places compare_and_swap and load_linked/
+store_conditional at level ∞: each can simulate any fetch_and_phi
+lock-free, and LL/SC can simulate compare_and_swap (the reverse fails
+because CAS cannot observe a same-value write — the ABA problem).  These
+generators are those simulations, written once and shared by the lock
+and counter implementations:
+
+========================  =============================================
+fragment                  semantics
+========================  =============================================
+:func:`fetch_phi_via_cas`   lock-free fetch_and_phi from CAS
+:func:`fetch_phi_via_llsc`  lock-free fetch_and_phi from LL/SC
+:func:`cas_via_llsc`        compare_and_swap from LL/SC
+========================  =============================================
+
+Each simulation of a fetch_and_phi costs at least one extra cache miss
+over the native primitive (the read and the update are separate
+coherence transactions) — the effect Figures 3–5 quantify.
+"""
+
+from __future__ import annotations
+
+from ..primitives.semantics import PhiOp, apply_phi
+from ..processor.api import Proc
+
+__all__ = ["fetch_phi_via_cas", "fetch_phi_via_llsc", "cas_via_llsc"]
+
+
+def fetch_phi_via_cas(p: Proc, addr: int, phi: PhiOp, operand: int = 1,
+                      use_lx: bool = False):
+    """Lock-free fetch_and_phi built from compare_and_swap.
+
+    With ``use_lx`` the read acquires an exclusive copy so the
+    compare_and_swap that follows hits locally — the paper's recommended
+    pairing under the INV policy.  Returns the old value.
+    """
+    while True:
+        if use_lx:
+            old = yield p.load_exclusive(addr)
+        else:
+            old = yield p.load(addr)
+        new = apply_phi(phi, old, operand)
+        result = yield p.cas(addr, old, new)
+        if result:
+            return old
+
+
+def fetch_phi_via_llsc(p: Proc, addr: int, phi: PhiOp, operand: int = 1):
+    """Lock-free fetch_and_phi built from load_linked/store_conditional.
+
+    Returns the old value.  Unlike the CAS loop this cannot suffer ABA:
+    any intervening write — same value or not — fails the
+    store_conditional.
+    """
+    while True:
+        linked = yield p.ll(addr)
+        new = apply_phi(phi, linked.value, operand)
+        ok = yield p.sc(addr, new, linked.token)
+        if ok:
+            return linked.value
+
+
+def cas_via_llsc(p: Proc, addr: int, expected: int, new: int):
+    """compare_and_swap built from load_linked/store_conditional.
+
+    Returns True on success.  Strictly *stronger* than a hardware CAS:
+    it fails if the word was written at all since the load_linked, even
+    back to ``expected`` — which is why the reverse simulation is
+    impossible (§2.2).  A spurious store_conditional failure retries.
+    """
+    while True:
+        linked = yield p.ll(addr)
+        if linked.value != expected:
+            return False
+        ok = yield p.sc(addr, new, linked.token)
+        if ok:
+            return True

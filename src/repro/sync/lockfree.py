@@ -1,0 +1,216 @@
+"""Lock-free data structures built on the universal primitives.
+
+The paper's case for compare_and_swap and load_linked/store_conditional
+is that they enable lock-free object implementations (§1, §2.2).  This
+module provides two classics on the simulated machine:
+
+* :class:`TreiberStack` — the IBM/Treiber lock-free stack: a single
+  top-of-stack pointer updated with CAS (or an LL/SC loop).
+* :class:`LockFreeQueue` — the Michael & Scott lock-free FIFO queue
+  (the same Michael as the paper): head/tail pointers with helping, a
+  dummy node, and per-node next links, all swung by CAS.
+
+Nodes are preallocated from a shared pool and never reused, which keeps
+the CAS variants immune to the ABA problem the paper discusses; the
+LL/SC variants are reservation-protected and would tolerate reuse.
+Pointers are encoded as small integers (0 is null) naming nodes in a
+Python-side address table — the moral equivalent of indices into a node
+arena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coherence.policy import SyncPolicy
+from ..errors import ConfigError, ProgramError
+from ..machine.machine import Machine
+from ..processor.api import Proc
+from .variant import PrimitiveVariant
+
+__all__ = ["TreiberStack", "LockFreeQueue", "EMPTY"]
+
+EMPTY = object()
+"""Sentinel returned by ``pop``/``dequeue`` on an empty structure."""
+
+_NULL = 0
+
+
+@dataclass(frozen=True)
+class _Node:
+    """Word addresses of one arena node."""
+
+    value: int
+    next: int
+
+
+class _NodeArena:
+    """A shared pool of nodes with an atomic allocation cursor."""
+
+    def __init__(self, machine: Machine, capacity: int,
+                 cursor_policy: SyncPolicy) -> None:
+        if capacity < 1:
+            raise ConfigError("node arena needs capacity >= 1")
+        word = machine.config.machine.word_size
+        self.capacity = capacity
+        self._nodes = []
+        for i in range(capacity):
+            base = machine.alloc_node_block(home=i % machine.n_nodes)
+            self._nodes.append(_Node(value=base, next=base + word))
+        # The allocation cursor is itself a lock-free fetch_and_add
+        # counter; UNC keeps it cheap under bursts (paper §4.3.2).
+        self.cursor = machine.alloc_sync(cursor_policy, home=0)
+
+    def node(self, code: int) -> _Node:
+        """The node named by pointer code ``code`` (1-based)."""
+        return self._nodes[code - 1]
+
+    def allocate(self, p: Proc):
+        """Program fragment: grab a fresh node; returns its code."""
+        index = yield p.fetch_add(self.cursor, 1)
+        if index >= self.capacity:
+            raise ProgramError(
+                f"node arena exhausted ({self.capacity} nodes); size the "
+                "structure for the workload"
+            )
+        return index + 1
+
+
+class _PointerOps:
+    """CAS- or LL/SC-based atomic pointer update, per the variant."""
+
+    def __init__(self, variant: PrimitiveVariant) -> None:
+        if variant.family not in ("cas", "llsc"):
+            raise ConfigError(
+                "lock-free structures need a universal primitive "
+                "(cas or llsc), not fetch_and_phi"
+            )
+        self.variant = variant
+
+    def compare_swap(self, p: Proc, addr: int, expected: int, new: int):
+        """Program fragment: one atomic pointer-swing attempt."""
+        if self.variant.family == "cas":
+            result = yield p.cas(addr, expected, new)
+            return bool(result)
+        while True:
+            linked = yield p.ll(addr)
+            if linked.value != expected:
+                return False
+            ok = yield p.sc(addr, new, linked.token)
+            if ok:
+                return True
+            # Spurious-failure retry: re-linked value decides.
+
+
+class TreiberStack:
+    """A lock-free LIFO stack (Treiber, IBM 1986)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        variant: PrimitiveVariant,
+        capacity: int = 256,
+        home: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.ops = _PointerOps(variant)
+        self.top = machine.alloc_sync(variant.policy, home=home)
+        self.arena = _NodeArena(machine, capacity, SyncPolicy.UNC)
+
+    def push(self, p: Proc, value: int):
+        """Program fragment: push ``value``; lock-free."""
+        code = yield from self.arena.allocate(p)
+        node = self.arena.node(code)
+        yield p.store(node.value, value)
+        while True:
+            top = yield p.load(self.top)
+            yield p.store(node.next, top)
+            ok = yield from self.ops.compare_swap(p, self.top, top, code)
+            if ok:
+                return
+
+    def pop(self, p: Proc):
+        """Program fragment: pop a value, or :data:`EMPTY`."""
+        while True:
+            top = yield p.load(self.top)
+            if top == _NULL:
+                return EMPTY
+            node = self.arena.node(top)
+            succ = yield p.load(node.next)
+            ok = yield from self.ops.compare_swap(p, self.top, top, succ)
+            if ok:
+                value = yield p.load(node.value)
+                return value
+
+
+class LockFreeQueue:
+    """The Michael & Scott lock-free FIFO queue (PODC 1996).
+
+    ``head`` points at a dummy node; ``tail`` may lag by one and is
+    helped forward by any operation that notices.  Both are
+    synchronization variables under the chosen policy; node links are
+    ordinary shared memory updated with the same universal primitive.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        variant: PrimitiveVariant,
+        capacity: int = 256,
+        home: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.ops = _PointerOps(variant)
+        self.head = machine.alloc_sync(variant.policy, home=home)
+        self.tail = machine.alloc_sync(variant.policy, home=home)
+        self.arena = _NodeArena(machine, capacity + 1, SyncPolicy.UNC)
+        # Install the dummy node (code 1) before any program runs, and
+        # advance the allocation cursor past it.
+        machine.write_word(self.head, 1)
+        machine.write_word(self.tail, 1)
+        machine.write_word(self.arena.cursor, 1)
+
+    def enqueue(self, p: Proc, value: int):
+        """Program fragment: append ``value``; lock-free."""
+        code = yield from self.arena.allocate(p)
+        node = self.arena.node(code)
+        yield p.store(node.value, value)
+        yield p.store(node.next, _NULL)
+        while True:
+            tail = yield p.load(self.tail)
+            tail_node = self.arena.node(tail)
+            succ = yield p.load(tail_node.next)
+            recheck = yield p.load(self.tail)
+            if tail != recheck:
+                continue
+            if succ == _NULL:
+                ok = yield from self.ops.compare_swap(
+                    p, tail_node.next, _NULL, code)
+                if ok:
+                    break
+            else:
+                # Help a lagging tail forward.
+                yield from self.ops.compare_swap(p, self.tail, tail, succ)
+        yield from self.ops.compare_swap(p, self.tail, tail, code)
+
+    def dequeue(self, p: Proc):
+        """Program fragment: remove the oldest value, or :data:`EMPTY`."""
+        while True:
+            head = yield p.load(self.head)
+            tail = yield p.load(self.tail)
+            head_node = self.arena.node(head)
+            succ = yield p.load(head_node.next)
+            recheck = yield p.load(self.head)
+            if head != recheck:
+                continue
+            if head == tail:
+                if succ == _NULL:
+                    return EMPTY
+                # Tail lags behind a half-finished enqueue: help it.
+                yield from self.ops.compare_swap(p, self.tail, tail, succ)
+                continue
+            succ_node = self.arena.node(succ)
+            value = yield p.load(succ_node.value)
+            ok = yield from self.ops.compare_swap(p, self.head, head, succ)
+            if ok:
+                return value

@@ -1,0 +1,153 @@
+"""The MCS queue-based spin lock [Mellor-Crummey & Scott 1991].
+
+Each processor spins only on a flag in its own queue node, which lives in
+its local memory — the locality property that makes MCS scale.  The lock
+variable proper is the queue *tail*, the only synchronization variable.
+
+Three implementations, selected by the primitive family of the variant:
+
+* ``cas``  — native ``fetch_and_store`` for enqueue and native
+  ``compare_and_swap`` for the release fast path (the paper's third
+  synthetic application: "load_linked/store_conditional simulates
+  compare_and_swap" is measured against this);
+* ``llsc`` — both ``fetch_and_store`` and ``compare_and_swap`` are
+  simulated with load_linked / store_conditional loops;
+* ``fap``  — ``fetch_and_store`` only, using the no-compare_and_swap
+  release of the MCS paper (§ "lock with fetch_and_store only"), which
+  can momentarily splice waiters out and back in.
+
+Queue nodes are encoded as small integers (0 is nil, processor ``i`` is
+``i + 1``) stored in the tail word, with a Python-side table mapping codes
+to the nodes' word addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.machine import Machine
+from ..processor.api import Proc
+from ..primitives.semantics import PhiOp
+from .emulation import cas_via_llsc, fetch_phi_via_llsc
+from .variant import PrimitiveVariant
+
+__all__ = ["McsLock"]
+
+_NIL = 0
+_SPIN_MIN = 4
+_SPIN_MAX = 64
+
+
+@dataclass(frozen=True)
+class _QNode:
+    """Word addresses of one processor's queue node fields."""
+
+    next: int
+    locked: int
+
+
+class McsLock:
+    """An MCS lock: a tail synchronization variable plus per-CPU nodes."""
+
+    def __init__(
+        self, machine: Machine, variant: PrimitiveVariant, home: int = 0
+    ) -> None:
+        self.machine = machine
+        self.variant = variant
+        self.addr = machine.alloc_sync(variant.policy, home=home)
+        word = machine.config.machine.word_size
+        self._nodes: list[_QNode] = []
+        for pid in range(machine.n_nodes):
+            base = machine.alloc_node_block(home=pid)
+            self._nodes.append(_QNode(next=base, locked=base + word))
+
+    def _qnode(self, code: int) -> _QNode:
+        return self._nodes[code - 1]
+
+    # ------------------------------------------------------------------
+    # Primitive selection.
+    # ------------------------------------------------------------------
+
+    def _fetch_store(self, p: Proc, value: int):
+        """Atomic swap on the tail, native or LL/SC-simulated."""
+        if self.variant.family == "llsc":
+            old = yield from fetch_phi_via_llsc(p, self.addr, PhiOp.STORE,
+                                                value)
+            return old
+        old = yield p.fetch_store(self.addr, value)
+        return old
+
+    def _cas_tail(self, p: Proc, expected: int, new: int):
+        """compare_and_swap on the tail, native or LL/SC-simulated."""
+        if self.variant.family == "llsc":
+            ok = yield from cas_via_llsc(p, self.addr, expected, new)
+            return ok
+        result = yield p.cas(self.addr, expected, new)
+        return bool(result)
+
+    # ------------------------------------------------------------------
+    # Lock operations (program fragments).
+    # ------------------------------------------------------------------
+
+    def acquire(self, p: Proc):
+        """Enqueue our node and spin locally until granted."""
+        me = p.pid + 1
+        mine = self._nodes[p.pid]
+        yield p.store(mine.next, _NIL)
+        yield p.contend_begin(self.addr)
+        pred = yield from self._fetch_store(p, me)
+        if pred != _NIL:
+            yield p.store(mine.locked, 1)
+            yield p.store(self._qnode(pred).next, me)
+            delay = _SPIN_MIN
+            while True:
+                locked = yield p.load(mine.locked)
+                if not locked:
+                    break
+                yield p.think(delay)
+                delay = min(delay * 2, _SPIN_MAX)
+        yield p.contend_end(self.addr)
+
+    def release(self, p: Proc):
+        """Hand the lock to our successor (or empty the queue)."""
+        me = p.pid + 1
+        mine = self._nodes[p.pid]
+        succ = yield p.load(mine.next)
+        if succ != _NIL:
+            yield p.store(self._qnode(succ).locked, 0)
+        elif self.variant.family == "fap":
+            yield from self._release_no_cas(p, me, mine)
+        else:
+            swung = yield from self._cas_tail(p, me, _NIL)
+            if not swung:
+                # A successor is enqueueing; wait for the link, then grant.
+                succ = yield from self._await_successor(p, mine)
+                yield p.store(self._qnode(succ).locked, 0)
+        if self.variant.use_drop:
+            yield p.drop_copy(self.addr)
+
+    def _release_no_cas(self, p: Proc, me: int, mine: _QNode):
+        """MCS release using only fetch_and_store (no compare_and_swap).
+
+        If new waiters slipped in, they are atomically detached and then
+        re-attached behind any "usurpers" that enqueued in the window —
+        the trade-off the MCS paper accepts for machines without CAS.
+        """
+        old_tail = yield from self._fetch_store(p, _NIL)
+        if old_tail == me:
+            return
+        usurper = yield from self._fetch_store(p, old_tail)
+        succ = yield from self._await_successor(p, mine)
+        if usurper != _NIL:
+            yield p.store(self._qnode(usurper).next, succ)
+        else:
+            yield p.store(self._qnode(succ).locked, 0)
+
+    def _await_successor(self, p: Proc, mine: _QNode):
+        delay = _SPIN_MIN
+        while True:
+            succ = yield p.load(mine.next)
+            if succ != _NIL:
+                return succ
+            yield p.think(delay)
+            delay = min(delay * 2, _SPIN_MAX)

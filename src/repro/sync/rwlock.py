@@ -1,0 +1,187 @@
+"""Reader-writer locks built from the atomic primitives.
+
+The paper motivates general-purpose primitives partly by the variety of
+synchronization styles they enable, citing reader-writer locks
+[Mellor-Crummey & Scott, PPoPP 1991].  This module provides a centralized
+reader-preference reader-writer lock in three flavours, one per primitive
+family:
+
+* ``cas``  — a single status word: bit 0 is the writer-active flag, the
+  upper bits count active readers.  Readers enter with a CAS loop that
+  bumps the count while the writer bit is clear; the writer enters with
+  ``compare_and_swap(status, 0, WRITER)``.
+* ``llsc`` — the same single-word algorithm with LL/SC loops.
+* ``fap``  — fetch_and_phi only (no comparison primitive): readers
+  announce with ``fetch_and_add`` and back out if they raced a writer;
+  the writer claims a ``test_and_set`` flag inside the same word with
+  ``fetch_and_or`` and then waits for the reader count to drain.
+
+All three spin with bounded exponential backoff on contended entry.
+"""
+
+from __future__ import annotations
+
+from ..machine.machine import Machine
+from ..processor.api import Proc
+from ..primitives.semantics import WORD_MASK
+from .backoff import Backoff
+from .variant import PrimitiveVariant
+
+__all__ = ["ReaderWriterLock"]
+
+_WRITER = 1          # bit 0: writer active (or claiming, for fap)
+_READER = 2          # reader count increment (upper 31 bits)
+_SPIN_DELAY = 8
+
+
+class ReaderWriterLock:
+    """A reader-preference reader-writer lock on one status word."""
+
+    def __init__(
+        self, machine: Machine, variant: PrimitiveVariant, home: int = 0
+    ) -> None:
+        self.machine = machine
+        self.variant = variant
+        self.addr = machine.alloc_sync(variant.policy, home=home)
+
+    # ------------------------------------------------------------------
+    # Reader side.
+    # ------------------------------------------------------------------
+
+    def acquire_read(self, p: Proc):
+        """Program fragment: enter a read-side critical section."""
+        yield p.contend_begin(self.addr)
+        if self.variant.family == "fap":
+            yield from self._fap_acquire_read(p)
+        else:
+            yield from self._word_acquire_read(p)
+        yield p.contend_end(self.addr)
+
+    def release_read(self, p: Proc):
+        """Program fragment: leave a read-side critical section."""
+        if self.variant.family == "fap":
+            yield p.fetch_add(self.addr, (-_READER) & WORD_MASK)
+        elif self.variant.family == "cas":
+            while True:
+                status = yield p.load(self.addr)
+                ok = yield p.cas(self.addr, status, status - _READER)
+                if ok:
+                    return
+        else:
+            while True:
+                linked = yield p.ll(self.addr)
+                ok = yield p.sc(self.addr, linked.value - _READER,
+                                linked.token)
+                if ok:
+                    return
+
+    def _word_acquire_read(self, p: Proc):
+        """CAS/LLSC readers: bump the count while no writer holds."""
+        backoff = Backoff(p.rng)
+        while True:
+            status = yield p.load(self.addr)
+            if status & _WRITER:
+                yield p.think(backoff.next_delay())
+                continue
+            if self.variant.family == "cas":
+                ok = yield p.cas(self.addr, status, status + _READER)
+            else:
+                linked = yield p.ll(self.addr)
+                if linked.value & _WRITER:
+                    yield p.think(backoff.next_delay())
+                    continue
+                ok = yield p.sc(self.addr, linked.value + _READER,
+                                linked.token)
+            if ok:
+                return
+            yield p.think(backoff.next_delay())
+
+    def _fap_acquire_read(self, p: Proc):
+        """fetch_and_phi readers: announce, then back out on a writer.
+
+        Without a comparison primitive a reader cannot atomically check
+        and increment, so it increments optimistically and retracts if a
+        writer already claimed the word (the classic counter-based
+        algorithm).
+        """
+        backoff = Backoff(p.rng)
+        while True:
+            old = yield p.fetch_add(self.addr, _READER)
+            if not old & _WRITER:
+                return
+            yield p.fetch_add(self.addr, (-_READER) & WORD_MASK)
+            while True:
+                status = yield p.load(self.addr)
+                if not status & _WRITER:
+                    break
+                yield p.think(backoff.next_delay())
+
+    # ------------------------------------------------------------------
+    # Writer side.
+    # ------------------------------------------------------------------
+
+    def acquire_write(self, p: Proc):
+        """Program fragment: enter the (exclusive) write-side section."""
+        yield p.contend_begin(self.addr)
+        if self.variant.family == "fap":
+            yield from self._fap_acquire_write(p)
+        else:
+            yield from self._word_acquire_write(p)
+        yield p.contend_end(self.addr)
+
+    def release_write(self, p: Proc):
+        """Program fragment: leave the write-side section."""
+        if self.variant.family == "fap":
+            yield p.fetch_add(self.addr, (-_WRITER) & WORD_MASK)
+            return
+        if self.variant.family == "cas":
+            while True:
+                status = yield p.load(self.addr)
+                ok = yield p.cas(self.addr, status, status & ~_WRITER)
+                if ok:
+                    return
+        else:
+            while True:
+                linked = yield p.ll(self.addr)
+                ok = yield p.sc(self.addr, linked.value & ~_WRITER,
+                                linked.token)
+                if ok:
+                    return
+
+    def _word_acquire_write(self, p: Proc):
+        """CAS/LLSC writer: swing the whole word from 0 to WRITER."""
+        backoff = Backoff(p.rng)
+        while True:
+            status = yield p.load(self.addr)
+            if status == 0:
+                if self.variant.family == "cas":
+                    ok = yield p.cas(self.addr, 0, _WRITER)
+                else:
+                    linked = yield p.ll(self.addr)
+                    if linked.value != 0:
+                        yield p.think(backoff.next_delay())
+                        continue
+                    ok = yield p.sc(self.addr, _WRITER, linked.token)
+                if ok:
+                    return
+            yield p.think(backoff.next_delay())
+
+    def _fap_acquire_write(self, p: Proc):
+        """fetch_and_phi writer: claim the flag, then drain readers.
+
+        ``fetch_and_or`` atomically claims the writer bit; a loser spins
+        and retries.  The winner then waits for the announced readers to
+        retract or finish (they observe the claimed bit and back out).
+        """
+        backoff = Backoff(p.rng)
+        while True:
+            old = yield p.fetch_or(self.addr, _WRITER)
+            if not old & _WRITER:
+                break
+            yield p.think(backoff.next_delay())
+        # Claimed; wait until all readers have drained.
+        while True:
+            status = yield p.load(self.addr)
+            if status == _WRITER:
+                return
+            yield p.think(_SPIN_DELAY)

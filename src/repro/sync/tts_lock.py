@@ -1,0 +1,91 @@
+"""Test-and-test-and-set lock with bounded exponential backoff.
+
+The lock used for the paper's "real" applications (it replaced the SPLASH
+library locks) and for the second synthetic application.  The *test*
+phase spins on ordinary loads; the *set* phase attempts the atomic update
+with whichever primitive family the experiment selects:
+
+* ``fap``  — ``test_and_set`` proper;
+* ``cas``  — ``compare_and_swap(lock, 0, 1)``, optionally preceded by a
+  ``load_exclusive`` confirming read (the paper's recommended pairing);
+* ``llsc`` — a load_linked / store_conditional attempt.
+
+Backoff bounds contention: each failed attempt waits a random delay whose
+limit doubles up to a cap [Mellor-Crummey & Scott].
+"""
+
+from __future__ import annotations
+
+from ..machine.machine import Machine
+from ..processor.api import Proc
+from .backoff import Backoff
+from .variant import PrimitiveVariant
+
+__all__ = ["TtsLock"]
+
+_FREE = 0
+_HELD = 1
+
+
+class TtsLock:
+    """A test-and-test-and-set lock on one synchronization variable."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        variant: PrimitiveVariant,
+        home: int = 0,
+        backoff_base: int = 16,
+        backoff_cap: int = 16384,
+    ) -> None:
+        self.machine = machine
+        self.variant = variant
+        self.addr = machine.alloc_sync(variant.policy, home=home)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+
+    def acquire(self, p: Proc):
+        """Program fragment: acquire the lock (``yield from``)."""
+        addr = self.addr
+        backoff = Backoff(p.rng, self.backoff_base, self.backoff_cap)
+        yield p.contend_begin(addr)
+        while True:
+            # Test phase: spin on ordinary loads until the lock looks free.
+            value = yield p.load(addr)
+            if value != _FREE:
+                yield p.think(backoff.next_delay())
+                continue
+            # Set phase: one atomic attempt.
+            acquired = yield from self._attempt(p)
+            if acquired:
+                break
+            yield p.think(backoff.next_delay())
+        yield p.contend_end(addr)
+
+    def _attempt(self, p: Proc):
+        variant = self.variant
+        addr = self.addr
+        if variant.family == "fap":
+            old = yield p.test_and_set(addr)
+            return old == _FREE
+        if variant.family == "cas":
+            if variant.use_lx:
+                # Confirming read that also acquires the line exclusive,
+                # so the compare_and_swap that follows hits locally.
+                value = yield p.load_exclusive(addr)
+                if value != _FREE:
+                    return False
+            result = yield p.cas(addr, _FREE, _HELD)
+            return bool(result)
+        # llsc
+        linked = yield p.ll(addr)
+        if linked.value != _FREE:
+            return False
+        ok = yield p.sc(addr, _HELD, linked.token)
+        return bool(ok)
+
+    def release(self, p: Proc):
+        """Program fragment: release the lock (``yield from``)."""
+        yield p.store(self.addr, _FREE)
+        if self.variant.use_drop:
+            yield p.drop_copy(self.addr)

@@ -1,0 +1,58 @@
+"""Primitive-variant descriptors.
+
+Every bar in the paper's Figures 3–5 is one combination of
+
+* a primitive family — ``fap`` (fetch_and_phi), ``cas``
+  (compare_and_swap), or ``llsc`` (load_linked/store_conditional);
+* a coherence policy for the synchronization variable — INV, INVd, INVs,
+  UPD, or UNC;
+* the auxiliary instructions in use — ``load_exclusive`` before CAS
+  (INV only) and/or ``drop_copy`` after the update/release.
+
+:class:`PrimitiveVariant` bundles these so application code can be written
+once and swept over every variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coherence.policy import SyncPolicy
+from ..errors import ConfigError
+
+__all__ = ["PrimitiveVariant"]
+
+_FAMILIES = ("fap", "cas", "llsc")
+
+
+@dataclass(frozen=True)
+class PrimitiveVariant:
+    """One primitive/policy/auxiliary combination."""
+
+    family: str
+    policy: SyncPolicy
+    use_lx: bool = False
+    use_drop: bool = False
+
+    def __post_init__(self) -> None:
+        if self.family not in _FAMILIES:
+            raise ConfigError(f"family must be one of {_FAMILIES}")
+        if self.use_lx and self.family != "cas":
+            raise ConfigError("load_exclusive only applies to compare_and_swap")
+        if self.use_lx and self.policy is not SyncPolicy.INV:
+            raise ConfigError("load_exclusive pairs with the plain INV policy")
+        if self.policy in (SyncPolicy.INVD, SyncPolicy.INVS) and self.family != "cas":
+            raise ConfigError("INVd/INVs are compare_and_swap variants")
+        if self.use_drop and not self.policy.cached:
+            raise ConfigError("drop_copy is meaningless for uncached data")
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``"CAS/INVd"`` or ``"CAS+lx/INV+dc"``."""
+        fam = {"fap": "FAP", "cas": "CAS", "llsc": "LLSC"}[self.family]
+        if self.use_lx:
+            fam += "+lx"
+        name = f"{fam}/{self.policy.value}"
+        if self.use_drop:
+            name += "+dc"
+        return name

@@ -1,0 +1,20 @@
+"""History recording and correctness checkers for concurrent objects."""
+
+from .history import History, Event
+from .checkers import (
+    check_counter_history,
+    check_stack_history,
+    check_queue_history,
+    check_mutual_exclusion,
+    CheckFailure,
+)
+
+__all__ = [
+    "History",
+    "Event",
+    "check_counter_history",
+    "check_stack_history",
+    "check_queue_history",
+    "check_mutual_exclusion",
+    "CheckFailure",
+]

@@ -1,0 +1,188 @@
+"""Correctness checkers over operation histories.
+
+Full linearizability checking is NP-hard; these checkers validate
+conditions that are (a) exactly decidable and (b) strong enough to catch
+real protocol bugs — lost updates, duplicated or invented elements,
+broken FIFO/LIFO order, overlapping critical sections:
+
+* histories with **no concurrency** are replayed against the sequential
+  specification and must match exactly;
+* concurrent histories are checked for *element conservation* (nothing
+  lost, nothing invented, nothing duplicated) plus order conditions that
+  every linearizable execution must satisfy (per-producer FIFO for
+  queues, a complete increment chain for counters).
+
+Each checker raises :class:`CheckFailure` with a specific complaint.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Iterable
+
+from .history import History
+
+__all__ = [
+    "CheckFailure",
+    "check_counter_history",
+    "check_stack_history",
+    "check_queue_history",
+    "check_mutual_exclusion",
+]
+
+
+class CheckFailure(AssertionError):
+    """A history violated its object's specification."""
+
+
+def _is_sequential(history: History) -> bool:
+    events = sorted(history.events, key=lambda e: e.start)
+    return all(first.end <= second.start
+               for first, second in zip(events, events[1:]))
+
+
+def check_counter_history(history: History, initial: int = 0) -> None:
+    """Validate fetch_and_add-style events (op ``"inc"``).
+
+    Each event's result must be the counter's pre-value.  The pre-values
+    must chain: starting from ``initial``, following each observed
+    ``pre -> pre + amount`` edge visits every event exactly once.  Any
+    lost or duplicated increment breaks the chain.
+    """
+    events = history.of_op("inc")
+    if not events:
+        return
+    seen = [e.result for e in events]
+    if len(set(seen)) != len(seen):
+        raise CheckFailure("duplicate counter pre-values (lost update)")
+    chain = {e.result: e.result + e.arg for e in events}
+    cursor = initial
+    for _ in events:
+        if cursor not in chain:
+            raise CheckFailure(
+                f"no increment observed pre-value {cursor}; "
+                "updates were lost or reordered impossibly"
+            )
+        cursor = chain.pop(cursor)
+    total = initial + sum(e.arg for e in events)
+    if cursor != total:
+        raise CheckFailure(f"increment chain ends at {cursor}, not {total}")
+
+
+def _element_conservation(
+    pushed: Iterable[Any], popped: Iterable[Any], leftovers: Iterable[Any]
+) -> None:
+    inserted = Counter(pushed)
+    removed = Counter(popped) + Counter(leftovers)
+    if inserted != removed:
+        missing = inserted - removed
+        extra = removed - inserted
+        raise CheckFailure(
+            f"element conservation violated: missing={dict(missing)}, "
+            f"invented={dict(extra)}"
+        )
+
+
+def check_stack_history(history: History,
+                        leftovers: Iterable[Any] = ()) -> None:
+    """Validate push/pop events (ops ``"push"``/``"pop"``) of a stack.
+
+    Always checks element conservation.  If the history is fully
+    sequential it is additionally replayed against a list-based stack and
+    every pop (including empty ones) must return exactly what the
+    reference returns.
+    """
+    pushes = history.of_op("push")
+    pops = history.of_op("pop")
+    real_pops = [e for e in pops if not _is_empty(e.result)]
+    _element_conservation((e.arg for e in pushes),
+                          (e.result for e in real_pops), leftovers)
+
+    if not _is_sequential(history):
+        return
+    reference: list[Any] = []
+    for event in history.by_completion():
+        if event.op == "push":
+            reference.append(event.arg)
+        elif event.op == "pop":
+            if _is_empty(event.result):
+                if reference:
+                    raise CheckFailure(
+                        f"pop at t={event.start} returned EMPTY with "
+                        f"{len(reference)} elements stacked"
+                    )
+            else:
+                expected = reference.pop() if reference else None
+                if event.result != expected:
+                    raise CheckFailure(
+                        f"LIFO violation: pop returned {event.result}, "
+                        f"top was {expected}"
+                    )
+
+
+def check_queue_history(history: History,
+                        leftovers: Iterable[Any] = ()) -> None:
+    """Validate enqueue/dequeue events (ops ``"enq"``/``"deq"``).
+
+    Always checks element conservation and per-producer FIFO order (a
+    consequence of linearizability).  Fully sequential histories are
+    replayed exactly against a reference queue.
+    """
+    enqueues = history.of_op("enq")
+    dequeues = history.of_op("deq")
+    real_dequeues = [e for e in dequeues if not _is_empty(e.result)]
+    _element_conservation((e.arg for e in enqueues),
+                          (e.result for e in real_dequeues), leftovers)
+
+    per_producer: dict[int, list[Any]] = defaultdict(list)
+    for event in sorted(enqueues, key=lambda e: (e.end, e.start)):
+        per_producer[event.pid].append(event.arg)
+    dequeue_position = {e.result: i
+                        for i, e in enumerate(history.by_completion())
+                        if e.op == "deq" and not _is_empty(e.result)}
+    for pid, items in per_producer.items():
+        positions = [dequeue_position[item] for item in items
+                     if item in dequeue_position]
+        if positions != sorted(positions):
+            raise CheckFailure(
+                f"producer {pid}'s elements dequeued out of order"
+            )
+
+    if not _is_sequential(history):
+        return
+    reference: list[Any] = []
+    for event in history.by_completion():
+        if event.op == "enq":
+            reference.append(event.arg)
+        elif event.op == "deq":
+            if _is_empty(event.result):
+                if reference:
+                    raise CheckFailure(
+                        f"dequeue at t={event.start} returned EMPTY with "
+                        f"{len(reference)} elements queued"
+                    )
+            else:
+                expected = reference.pop(0) if reference else None
+                if event.result != expected:
+                    raise CheckFailure(
+                        f"FIFO violation: dequeue returned "
+                        f"{event.result}, head was {expected}"
+                    )
+
+
+def check_mutual_exclusion(history: History) -> None:
+    """Validate critical-section events (op ``"cs"``): no two overlap."""
+    sections = sorted(history.of_op("cs"), key=lambda e: e.start)
+    for first, second in zip(sections, sections[1:]):
+        if second.start < first.end:
+            raise CheckFailure(
+                f"critical sections overlap: cpu{first.pid} "
+                f"[{first.start},{first.end}] and cpu{second.pid} "
+                f"[{second.start},{second.end}]"
+            )
+
+
+def _is_empty(result: Any) -> bool:
+    from ..sync.lockfree import EMPTY
+
+    return result is EMPTY or result is None

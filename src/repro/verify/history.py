@@ -1,0 +1,86 @@
+"""Operation histories of simulated concurrent objects.
+
+A :class:`History` collects timestamped operation records — invocation
+time, response time, operation name, argument, and result — from
+simulated programs.  The checkers in :mod:`repro.verify.checkers` consume
+these histories to validate concurrent objects (counters, stacks, queues,
+critical sections) against their sequential specifications.
+
+Programs record through :meth:`History.wrap`:
+
+.. code-block:: python
+
+    history = History(machine)
+
+    def program(p):
+        with_result = yield from history.wrap(
+            p, "push", 5, stack.push(p, 5))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["Event", "History"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One completed operation."""
+
+    pid: int
+    op: str
+    arg: Any
+    result: Any
+    start: int
+    end: int
+
+    def overlaps(self, other: "Event") -> bool:
+        """True if the two operations were concurrent."""
+        return self.start <= other.end and other.start <= self.end
+
+    def precedes(self, other: "Event") -> bool:
+        """True if this operation completed before the other began."""
+        return self.end < other.start
+
+
+class History:
+    """An append-only log of operations against one shared object."""
+
+    def __init__(self, machine: Any) -> None:
+        self.machine = machine
+        self.events: list[Event] = []
+
+    def wrap(self, p: Any, op: str, arg: Any, fragment):
+        """Program fragment: run ``fragment`` and record it.
+
+        ``fragment`` is a generator (e.g. ``stack.push(p, v)``); its
+        return value becomes the event's result and is also returned.
+        """
+        start = self.machine.now
+        result = yield from fragment
+        self.events.append(
+            Event(pid=p.pid, op=op, arg=arg, result=result,
+                  start=start, end=self.machine.now)
+        )
+        return result
+
+    def record(self, pid: int, op: str, arg: Any, result: Any,
+               start: int, end: Optional[int] = None) -> None:
+        """Append an event directly (for tests and custom recorders)."""
+        self.events.append(
+            Event(pid=pid, op=op, arg=arg, result=result, start=start,
+                  end=end if end is not None else start)
+        )
+
+    def by_completion(self) -> list[Event]:
+        """Events sorted by response time (ties by invocation)."""
+        return sorted(self.events, key=lambda e: (e.end, e.start))
+
+    def of_op(self, *ops: str) -> list[Event]:
+        """Events whose operation name is one of ``ops``."""
+        return [e for e in self.events if e.op in ops]
+
+    def __len__(self) -> int:
+        return len(self.events)

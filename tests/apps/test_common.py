@@ -1,0 +1,22 @@
+"""AppResult semantics."""
+
+from repro.apps.common import AppResult
+
+
+def test_avg_cycles():
+    result = AppResult(name="x", label="y", cycles=100, updates=4)
+    assert result.avg_cycles == 25.0
+
+
+def test_avg_cycles_no_updates():
+    result = AppResult(name="x", label="y", cycles=100, updates=0)
+    assert result.avg_cycles == 0.0
+
+
+def test_default_collections_are_independent():
+    a = AppResult(name="a", label="l", cycles=1, updates=1)
+    b = AppResult(name="b", label="l", cycles=1, updates=1)
+    a.extra["k"] = 1
+    a.contention_histogram[1] = 50.0
+    assert b.extra == {}
+    assert b.contention_histogram == {}

@@ -1,0 +1,74 @@
+"""LocusRoute-like and Cholesky-like kernels: sharing patterns."""
+
+import pytest
+
+from repro.apps.cholesky import run_cholesky
+from repro.apps.locusroute import run_locusroute
+from repro.coherence.policy import SyncPolicy
+from repro.config import SimConfig
+from repro.sync.variant import PrimitiveVariant
+
+CFG8 = SimConfig().with_nodes(8)
+FAP_INV = PrimitiveVariant("fap", SyncPolicy.INV)
+
+
+class TestLocusRoute:
+    def test_all_wires_routed(self):
+        result = run_locusroute(FAP_INV, n_wires=24, config=CFG8)
+        # Every wire updates 4 cost words in 1-2 regions, each by +1:
+        # total cost mass equals total region updates.
+        assert result.extra["cost_total"] % 4 == 0
+        assert result.extra["cost_total"] >= 24 * 4
+
+    def test_deterministic_across_runs(self):
+        a = run_locusroute(FAP_INV, n_wires=16, config=CFG8)
+        b = run_locusroute(FAP_INV, n_wires=16, config=CFG8)
+        assert a.cycles == b.cycles
+        assert a.extra["cost_total"] == b.extra["cost_total"]
+
+    def test_workload_identical_across_variants(self):
+        # The routing plan must not depend on the primitive under test,
+        # or Figure 6 comparisons would be apples to oranges.
+        a = run_locusroute(FAP_INV, n_wires=16, config=CFG8)
+        b = run_locusroute(PrimitiveVariant("cas", SyncPolicy.UNC),
+                           n_wires=16, config=CFG8)
+        assert a.extra["cost_total"] == b.extra["cost_total"]
+
+    def test_mostly_uncontended(self):
+        result = run_locusroute(FAP_INV, config=CFG8)
+        assert result.contention_histogram.get(1, 0) > 50.0
+
+    def test_runs_under_all_policies(self):
+        for policy in (SyncPolicy.UNC, SyncPolicy.UPD):
+            result = run_locusroute(PrimitiveVariant("fap", policy),
+                                    n_wires=16, config=CFG8)
+            assert result.cycles > 0
+
+
+class TestCholesky:
+    def test_completes_and_measures(self):
+        result = run_cholesky(FAP_INV, n_columns=24, config=CFG8)
+        assert result.name == "cholesky"
+        assert result.cycles > 0
+        assert result.updates > 0
+
+    def test_deterministic(self):
+        a = run_cholesky(FAP_INV, n_columns=16, config=CFG8)
+        b = run_cholesky(FAP_INV, n_columns=16, config=CFG8)
+        assert a.cycles == b.cycles
+
+    def test_mostly_uncontended(self):
+        result = run_cholesky(FAP_INV, config=CFG8)
+        assert result.contention_histogram.get(1, 0) > 50.0
+
+    def test_write_run_in_lock_regime(self):
+        # Lock-dominated sharing: average write run must sit between the
+        # alternating-writer floor (1) and the uncontended ceiling (2).
+        result = run_cholesky(FAP_INV, config=CFG8)
+        assert 1.0 <= result.write_run <= 2.1
+
+    def test_runs_under_all_policies(self):
+        for policy in (SyncPolicy.UNC, SyncPolicy.UPD):
+            result = run_cholesky(PrimitiveVariant("llsc", policy),
+                                  n_columns=16, config=CFG8)
+            assert result.cycles > 0

@@ -1,0 +1,114 @@
+"""The synthetic applications: sharing-pattern control and measurement."""
+
+import pytest
+
+from repro.apps.synthetic import (
+    SyntheticSpec,
+    burst_lengths,
+    run_lockfree_counter,
+    run_mcs_counter,
+    run_tts_counter,
+)
+from repro.coherence.policy import SyncPolicy
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.sync.variant import PrimitiveVariant
+
+CFG8 = SimConfig().with_nodes(8)
+FAP_INV = PrimitiveVariant("fap", SyncPolicy.INV)
+FAP_UNC = PrimitiveVariant("fap", SyncPolicy.UNC)
+
+
+class TestBurstLengths:
+    def test_integral_write_run(self):
+        assert burst_lengths(1.0, 4) == [1, 1, 1, 1]
+        assert burst_lengths(3.0, 3) == [3, 3, 3]
+
+    def test_half_write_run_alternates(self):
+        assert burst_lengths(1.5, 6) == [1, 2, 1, 2, 1, 2]
+
+    def test_mean_converges(self):
+        for target in (1.0, 1.5, 2.0, 3.0, 10.0, 2.25):
+            lengths = burst_lengths(target, 64)
+            assert abs(sum(lengths) / len(lengths) - target) < 0.1
+
+
+class TestSpecValidation:
+    def test_contention_bounds(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(contention=0).validate(8)
+        with pytest.raises(ConfigError):
+            SyntheticSpec(contention=9).validate(8)
+
+    def test_write_run_only_without_contention(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(contention=2, write_run=2.0).validate(8)
+
+    def test_write_run_minimum(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(write_run=0.5).validate(8)
+
+
+class TestLockFree:
+    def test_counts_updates_exactly(self):
+        spec = SyntheticSpec(contention=1, write_run=2.0, turns=8)
+        result = run_lockfree_counter(FAP_INV, spec, CFG8)
+        assert result.updates == 16
+        assert result.extra["counter"] == 16
+
+    def test_contention_case_counts(self):
+        spec = SyntheticSpec(contention=4, turns=8)
+        result = run_lockfree_counter(FAP_INV, spec, CFG8)
+        assert result.updates == 32
+
+    def test_write_run_control_reflected_in_measurement(self):
+        long_spec = SyntheticSpec(contention=1, write_run=10.0, turns=8)
+        short_spec = SyntheticSpec(contention=1, write_run=1.0, turns=8)
+        long_run = run_lockfree_counter(FAP_INV, long_spec, CFG8)
+        short_run = run_lockfree_counter(FAP_INV, short_spec, CFG8)
+        assert long_run.write_run > 5.0
+        assert short_run.write_run <= 1.5
+
+    def test_contention_reflected_in_histogram(self):
+        spec = SyntheticSpec(contention=8, turns=8)
+        result = run_lockfree_counter(FAP_UNC, spec, CFG8)
+        # Most samples should see substantial contention.
+        high = sum(pct for level, pct in result.contention_histogram.items()
+                   if level >= 4)
+        assert high > 40.0
+
+    def test_no_contention_histogram_is_mostly_ones(self):
+        spec = SyntheticSpec(contention=1, turns=8)
+        result = run_lockfree_counter(FAP_INV, spec, CFG8)
+        assert result.contention_histogram.get(1, 0) == 100.0
+
+    def test_avg_cycles_positive_and_finite(self):
+        spec = SyntheticSpec(contention=2, turns=4)
+        result = run_lockfree_counter(FAP_INV, spec, CFG8)
+        assert 0 < result.avg_cycles < 100_000
+
+
+class TestLocked:
+    def test_tts_counter_exact(self):
+        spec = SyntheticSpec(contention=4, turns=6)
+        result = run_tts_counter(PrimitiveVariant("cas", SyncPolicy.INV),
+                                 spec, CFG8)
+        assert result.extra["counter"] == 24
+
+    def test_mcs_counter_exact(self):
+        spec = SyntheticSpec(contention=4, turns=6)
+        result = run_mcs_counter(PrimitiveVariant("llsc", SyncPolicy.INV),
+                                 spec, CFG8)
+        assert result.extra["counter"] == 24
+
+    def test_tts_uncontended_write_run_near_two(self):
+        # Lock acquire+release with no interference: runs of 2 on the lock.
+        spec = SyntheticSpec(contention=1, turns=8)
+        result = run_tts_counter(FAP_INV, spec, CFG8)
+        assert 1.8 <= result.write_run <= 2.2
+
+    def test_labels_carried_through(self):
+        spec = SyntheticSpec(contention=1, turns=2)
+        result = run_tts_counter(FAP_INV, spec, CFG8)
+        assert result.label == "FAP/INV"
+        assert result.name == "tts"

@@ -1,0 +1,30 @@
+"""Unit tests for cache lines."""
+
+from repro.cache.line import CacheLine, LineState
+
+
+def test_default_invalid():
+    line = CacheLine(block=1)
+    assert line.state is LineState.INVALID
+    assert not line.valid
+
+
+def test_write_marks_dirty():
+    line = CacheLine(block=1, state=LineState.EXCLUSIVE, data=[0] * 8)
+    assert not line.dirty
+    line.write_word(2, 5)
+    assert line.dirty
+    assert line.read_word(2) == 5
+
+
+def test_invalidate_clears_state_and_data():
+    line = CacheLine(block=1, state=LineState.SHARED, data=[1] * 8, dirty=True)
+    line.invalidate()
+    assert line.state is LineState.INVALID
+    assert not line.dirty
+    assert line.data == []
+
+
+def test_valid_for_both_stable_states():
+    assert CacheLine(0, LineState.SHARED, [0]).valid
+    assert CacheLine(0, LineState.EXCLUSIVE, [0]).valid

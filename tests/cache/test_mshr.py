@@ -1,0 +1,79 @@
+"""Unit tests for the MSHR / transaction bookkeeping."""
+
+import pytest
+
+from repro.cache.mshr import Mshr, Transaction
+from repro.errors import ProtocolError
+from repro.network.message import Message, MessageType, Unit
+
+
+def txn(block=1):
+    return Transaction(op=None, block=block, callback=lambda r: None)
+
+
+def msg(block=1):
+    return Message(mtype=MessageType.FLUSH_REQ, src=1, dst=0,
+                   unit=Unit.CACHE, block=block)
+
+
+def test_begin_finish_cycle():
+    mshr = Mshr()
+    t = txn()
+    mshr.begin(t)
+    assert mshr.pending_for(1)
+    assert not mshr.pending_for(2)
+    assert mshr.finish() is t
+    assert not mshr.pending_for(1)
+
+
+def test_double_begin_rejected():
+    mshr = Mshr()
+    mshr.begin(txn(1))
+    with pytest.raises(ProtocolError):
+        mshr.begin(txn(2))
+
+
+def test_finish_without_begin_rejected():
+    with pytest.raises(ProtocolError):
+        Mshr().finish()
+
+
+def test_deferred_messages_round_trip():
+    mshr = Mshr()
+    m1, m2 = msg(1), msg(1)
+    mshr.defer(m1)
+    mshr.defer(m2)
+    assert mshr.take_deferred(1) == [m1, m2]
+    assert mshr.take_deferred(1) == []
+
+
+def test_deferred_messages_keyed_by_block():
+    mshr = Mshr()
+    mshr.defer(msg(1))
+    assert mshr.take_deferred(2) == []
+    assert len(mshr.take_deferred(1)) == 1
+
+
+def test_transaction_completion_rules():
+    t = txn()
+    assert not t.complete
+    t.reply = msg()
+    t.acks_needed = 2
+    assert not t.complete
+    t.acks_got = 2
+    assert t.complete
+
+
+def test_completion_with_no_acks_expected():
+    t = txn()
+    t.reply = msg()
+    t.acks_needed = 0
+    assert t.complete
+
+
+def test_note_chain_keeps_max():
+    t = txn()
+    t.note_chain(2)
+    t.note_chain(1)
+    t.note_chain(4)
+    assert t.chain == 4

@@ -1,0 +1,257 @@
+"""Semantics of fetch_and_phi and compare_and_swap under every policy."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.primitives.ops import CasResult
+
+from tests.conftest import make_machine, run_one, run_seq
+
+ALL_POLICIES = list(SyncPolicy)
+CAS_POLICIES = ALL_POLICIES
+FAP_POLICIES = [SyncPolicy.INV, SyncPolicy.UPD, SyncPolicy.UNC]
+
+
+def faa(p, addr, amount):
+    old = yield p.fetch_add(addr, amount)
+    return old
+
+
+def tset(p, addr):
+    old = yield p.test_and_set(addr)
+    return old
+
+
+def fstore(p, addr, value):
+    old = yield p.fetch_store(addr, value)
+    return old
+
+
+def cas(p, addr, expected, new):
+    result = yield p.cas(addr, expected, new)
+    return result
+
+
+def load(p, addr):
+    value = yield p.load(addr)
+    return value
+
+
+@pytest.mark.parametrize("policy", FAP_POLICIES, ids=lambda p: p.value)
+class TestFetchAndPhi:
+    def test_fetch_add_returns_old_and_stores_sum(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+        assert run_one(m, 0, faa, addr, 5) == 0
+        assert run_one(m, 2, faa, addr, 3) == 5
+        assert m.read_word(addr) == 8
+
+    def test_fetch_store_swaps(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+        assert run_one(m, 0, fstore, addr, 9) == 0
+        assert run_one(m, 2, fstore, addr, 4) == 9
+        assert m.read_word(addr) == 4
+
+    def test_test_and_set(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+        assert run_one(m, 0, tset, addr) == 0
+        assert run_one(m, 2, tset, addr) == 1
+        assert m.read_word(addr) == 1
+
+    def test_concurrent_fetch_adds_all_count(self, policy):
+        m = make_machine(8)
+        addr = m.alloc_sync(policy, home=1)
+
+        def prog(p):
+            for _ in range(5):
+                yield p.fetch_add(addr, 1)
+
+        m.spawn_all(prog)
+        m.run()
+        assert m.read_word(addr) == 40
+
+    def test_concurrent_fetch_adds_return_distinct_olds(self, policy):
+        m = make_machine(8)
+        addr = m.alloc_sync(policy, home=1)
+        olds = []
+
+        def prog(p):
+            old = yield p.fetch_add(addr, 1)
+            olds.append(old)
+
+        m.spawn_all(prog)
+        m.run()
+        assert sorted(olds) == list(range(8))
+
+
+@pytest.mark.parametrize("policy", CAS_POLICIES, ids=lambda p: p.value)
+class TestCompareAndSwap:
+    def test_success_replaces_value(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+        result = run_one(m, 0, cas, addr, 0, 7)
+        assert isinstance(result, CasResult)
+        assert result.success and result.old == 0
+        assert m.read_word(addr) == 7
+
+    def test_failure_leaves_value(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+        m.write_word(addr, 3)
+        result = run_one(m, 0, cas, addr, 0, 7)
+        assert not result.success
+        assert result.old == 3
+        assert m.read_word(addr) == 3
+
+    def test_remote_value_compared(self, policy):
+        # The value to compare lives exclusive in another cache.
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+
+        def put(p, addr, v):
+            yield p.store(addr, v)
+
+        run_one(m, 2, put, addr, 5)
+        result = run_one(m, 0, cas, addr, 5, 6)
+        assert result.success and result.old == 5
+        assert m.read_word(addr) == 6
+
+    def test_remote_failure(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+
+        def put(p, addr, v):
+            yield p.store(addr, v)
+
+        run_one(m, 2, put, addr, 5)
+        result = run_one(m, 0, cas, addr, 1, 6)
+        assert not result.success and result.old == 5
+        assert m.read_word(addr) == 5
+
+    def test_concurrent_cas_one_winner(self, policy):
+        m = make_machine(8)
+        addr = m.alloc_sync(policy, home=1)
+        wins = []
+
+        def prog(p):
+            result = yield p.cas(addr, 0, p.pid + 1)
+            if result:
+                wins.append(p.pid)
+
+        m.spawn_all(prog)
+        m.run()
+        assert len(wins) == 1
+        assert m.read_word(addr) == wins[0] + 1
+
+    def test_cas_loop_counter_is_exact(self, policy):
+        m = make_machine(8)
+        addr = m.alloc_sync(policy, home=1)
+
+        def prog(p):
+            for _ in range(4):
+                while True:
+                    old = yield p.load(addr)
+                    ok = yield p.cas(addr, old, old + 1)
+                    if ok:
+                        break
+
+        m.spawn_all(prog)
+        m.run(max_events=5_000_000)
+        assert m.read_word(addr) == 32
+
+
+class TestLoadExclusive:
+    def test_returns_value(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        m.write_word(addr, 5)
+
+        def prog(p):
+            value = yield p.load_exclusive(addr)
+            return value
+
+        assert run_one(m, 0, prog) == 5
+
+    def test_acquires_exclusive_copy(self):
+        from repro.cache.line import LineState
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def prog(p):
+            yield p.load_exclusive(addr)
+
+        run_one(m, 0, prog)
+        line = m.nodes[0].controller.cache.lookup(m.block_of(addr),
+                                                  touch=False)
+        assert line.state is LineState.EXCLUSIVE
+
+    def test_cas_after_lx_is_local(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def prog(p):
+            old = yield p.load_exclusive(addr)
+            before = m.mesh.stats.messages
+            ok = yield p.cas(addr, old, old + 1)
+            return ok.success, m.mesh.stats.messages - before
+
+        success, messages = run_one(m, 0, prog)
+        assert success and messages == 0
+
+    def test_lx_invalidate_other_copies(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def reader(p):
+            yield p.load(addr)
+
+        def lx(p):
+            yield p.load_exclusive(addr)
+
+        run_seq(m, [(2, reader), (0, lx)])
+        assert m.nodes[2].controller.cache.lookup(m.block_of(addr),
+                                                  touch=False) is None
+
+    def test_lx_under_unc_behaves_as_load(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+        m.write_word(addr, 4)
+
+        def prog(p):
+            value = yield p.load_exclusive(addr)
+            return value
+
+        assert run_one(m, 0, prog) == 4
+        # Nothing may be cached under UNC.
+        assert m.nodes[0].controller.cache.lookup(m.block_of(addr),
+                                                  touch=False) is None
+
+
+class TestUncachedNeverCaches:
+    def test_no_copies_after_any_op(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+
+        def prog(p):
+            yield p.store(addr, 1)
+            yield p.load(addr)
+            yield p.fetch_add(addr, 1)
+            yield p.cas(addr, 2, 3)
+
+        run_one(m, 0, prog)
+        assert m.nodes[0].controller.cache.lookup(m.block_of(addr),
+                                                  touch=False) is None
+        assert m.read_word(addr) == 3
+
+    def test_every_unc_op_costs_two_messages(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+
+        def prog(p):
+            yield p.fetch_add(addr, 1)
+            yield p.fetch_add(addr, 1)
+
+        run_one(m, 0, prog)
+        assert m.nodes[0].controller.last_chain == 2

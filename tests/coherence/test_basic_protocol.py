@@ -1,0 +1,199 @@
+"""Integration tests of the base write-invalidate protocol.
+
+Ordinary (non-synchronization) data: loads, stores, sharing,
+invalidation, ownership transfer through the home, writeback, eviction.
+"""
+
+from repro.cache.line import LineState
+from repro.coherence.policy import SyncPolicy
+from repro.memory.directory import DirState
+
+from tests.conftest import make_machine, run_one, run_seq
+
+
+def put(p, addr, value):
+    yield p.store(addr, value)
+
+
+def get(p, addr):
+    value = yield p.load(addr)
+    return value
+
+
+def sync_addr(machine, policy=SyncPolicy.INV, home=1):
+    return machine.alloc_sync(policy, home=home)
+
+
+class TestLoadsAndStores:
+    def test_load_of_uninitialized_word_is_zero(self):
+        m = make_machine()
+        addr = m.alloc_data(1)
+        assert run_one(m, 0, get, addr) == 0
+
+    def test_store_then_load_same_cpu(self):
+        m = make_machine()
+        addr = m.alloc_data(1)
+        run_one(m, 0, put, addr, 42)
+        assert run_one(m, 0, get, addr) == 42
+
+    def test_store_visible_to_other_cpu(self):
+        m = make_machine()
+        addr = m.alloc_data(1)
+        run_one(m, 0, put, addr, 42)
+        assert run_one(m, 2, get, addr) == 42
+
+    def test_initialized_memory_visible_everywhere(self):
+        m = make_machine()
+        addr = m.alloc_data(4)
+        m.write_word(addr + 8, 9)
+        assert run_one(m, 3, get, addr + 8) == 9
+
+    def test_write_after_write_other_cpu(self):
+        m = make_machine()
+        addr = m.alloc_data(1)
+        run_one(m, 0, put, addr, 1)
+        run_one(m, 1, put, addr, 2)
+        assert run_one(m, 2, get, addr) == 2
+        assert m.read_word(addr) == 2
+
+    def test_words_in_one_block_are_independent(self):
+        m = make_machine()
+        addr = m.alloc_data(8)
+        run_one(m, 0, put, addr, 1)
+        run_one(m, 0, put, addr + 4, 2)
+        assert run_one(m, 1, get, addr) == 1
+        assert run_one(m, 1, get, addr + 4) == 2
+
+
+class TestDirectoryStates:
+    def entry(self, m, addr):
+        block = m.block_of(addr)
+        return m.nodes[m.home_of(block)].home.directory.entry(block)
+
+    def test_load_makes_shared(self):
+        m = make_machine()
+        addr = sync_addr(m)
+        run_one(m, 0, get, addr)
+        entry = self.entry(m, addr)
+        assert entry.state is DirState.SHARED
+        assert entry.sharers == {0}
+
+    def test_two_loads_make_two_sharers(self):
+        m = make_machine()
+        addr = sync_addr(m)
+        run_seq(m, [(0, get, addr), (2, get, addr)])
+        assert self.entry(m, addr).sharers == {0, 2}
+
+    def test_store_makes_exclusive(self):
+        m = make_machine()
+        addr = sync_addr(m)
+        run_one(m, 0, put, addr, 5)
+        entry = self.entry(m, addr)
+        assert entry.state is DirState.EXCLUSIVE
+        assert entry.owner == 0
+
+    def test_store_invalidates_sharers(self):
+        m = make_machine()
+        addr = sync_addr(m)
+        run_seq(m, [(0, get, addr), (2, get, addr), (3, put, addr, 5)])
+        entry = self.entry(m, addr)
+        assert entry.state is DirState.EXCLUSIVE and entry.owner == 3
+        block = m.block_of(addr)
+        assert m.nodes[0].controller.cache.lookup(block, touch=False) is None
+        assert m.nodes[2].controller.cache.lookup(block, touch=False) is None
+
+    def test_read_of_remote_exclusive_demotes_owner(self):
+        m = make_machine()
+        addr = sync_addr(m)
+        run_seq(m, [(0, put, addr, 5), (2, get, addr)])
+        entry = self.entry(m, addr)
+        assert entry.state is DirState.SHARED
+        assert entry.sharers == {0, 2}
+        block = m.block_of(addr)
+        line = m.nodes[0].controller.cache.lookup(block, touch=False)
+        assert line is not None and line.state is LineState.SHARED
+
+    def test_write_of_remote_exclusive_transfers_ownership(self):
+        m = make_machine()
+        addr = sync_addr(m)
+        run_seq(m, [(0, put, addr, 5), (2, put, addr, 6)])
+        entry = self.entry(m, addr)
+        assert entry.owner == 2
+        assert m.read_word(addr) == 6
+        block = m.block_of(addr)
+        assert m.nodes[0].controller.cache.lookup(block, touch=False) is None
+
+    def test_upgrade_from_shared(self):
+        m = make_machine()
+        addr = sync_addr(m)
+        run_seq(m, [(0, get, addr), (2, get, addr), (0, put, addr, 7)])
+        entry = self.entry(m, addr)
+        assert entry.state is DirState.EXCLUSIVE and entry.owner == 0
+        assert run_one(m, 2, get, addr) == 7
+
+
+class TestHitBehaviour:
+    def test_second_load_hits_locally(self):
+        m = make_machine()
+        addr = sync_addr(m)
+
+        def two_loads(p, addr):
+            yield p.load(addr)
+            before = m.mesh.stats.messages
+            yield p.load(addr)
+            return m.mesh.stats.messages - before
+
+        assert run_one(m, 0, two_loads, addr) == 0
+
+    def test_store_after_store_hits_locally(self):
+        m = make_machine()
+        addr = sync_addr(m)
+
+        def two_stores(p, addr):
+            yield p.store(addr, 1)
+            before = m.mesh.stats.messages
+            yield p.store(addr, 2)
+            return m.mesh.stats.messages - before
+
+        assert run_one(m, 0, two_stores, addr) == 0
+        assert m.read_word(addr) == 2
+
+
+class TestEviction:
+    def test_dirty_eviction_writes_back(self):
+        # Use a tiny cache so installs collide.
+        from repro.config import SimConfig, MachineConfig
+        from repro import build_machine
+        m = build_machine(SimConfig(machine=MachineConfig(
+            n_nodes=4, cache_sets=1, cache_assoc=1)))
+        a = m.alloc_data(1)
+        b = m.alloc_data(1)
+
+        def prog(p):
+            yield p.store(a, 11)   # exclusive, dirty
+            yield p.store(b, 22)   # evicts a -> writeback
+
+        m.spawn(0, lambda p: prog(p))
+        m.run()
+        assert m.read_word(a) == 11
+        assert m.read_word(b) == 22
+
+    def test_shared_eviction_notifies_directory(self):
+        from repro.config import SimConfig, MachineConfig
+        from repro import build_machine
+        m = build_machine(SimConfig(machine=MachineConfig(
+            n_nodes=4, cache_sets=1, cache_assoc=1)))
+        a = m.alloc_data(1)
+        b = m.alloc_data(1)
+        m.write_word(a, 1)
+        m.write_word(b, 2)
+
+        def prog(p):
+            yield p.load(a)
+            yield p.load(b)  # evicts a's shared copy
+
+        m.spawn(0, lambda p: prog(p))
+        m.run()
+        entry = m.nodes[m.home_of(m.block_of(a))].home.directory.entry(
+            m.block_of(a))
+        assert 0 not in entry.sharers

@@ -1,0 +1,200 @@
+"""The drop_copy auxiliary instruction and its races (paper §3, §4.3.1)."""
+
+from repro.coherence.policy import SyncPolicy
+from repro.memory.directory import DirState
+
+from tests.conftest import make_machine, run_one
+
+
+def put(p, addr, v):
+    yield p.store(addr, v)
+
+
+def get(p, addr):
+    v = yield p.load(addr)
+    return v
+
+
+def entry_of(m, addr):
+    block = m.block_of(addr)
+    return m.nodes[m.home_of(block)].home.directory.entry(block)
+
+
+def line_of(m, pid, addr):
+    return m.nodes[pid].controller.cache.lookup(m.block_of(addr), touch=False)
+
+
+class TestSemantics:
+    def test_drop_exclusive_writes_back(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def prog(p):
+            yield p.store(addr, 9)
+            yield p.drop_copy(addr)
+
+        run_one(m, 0, prog)
+        assert line_of(m, 0, addr) is None
+        assert entry_of(m, addr).state is DirState.UNCACHED
+        assert m.read_word(addr) == 9
+
+    def test_drop_shared_removes_sharer(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def prog(p):
+            yield p.load(addr)
+            yield p.drop_copy(addr)
+
+        run_one(m, 0, prog)
+        assert entry_of(m, addr).state is DirState.UNCACHED
+
+    def test_drop_without_copy_is_noop(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def prog(p):
+            before = m.mesh.stats.messages + m.mesh.stats.local_messages
+            yield p.drop_copy(addr)
+            after = m.mesh.stats.messages + m.mesh.stats.local_messages
+            return after - before
+
+        assert run_one(m, 0, prog) == 0
+
+    def test_drop_under_unc_is_noop(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+
+        def prog(p):
+            yield p.store(addr, 1)
+            yield p.drop_copy(addr)
+
+        run_one(m, 0, prog)
+        assert m.read_word(addr) == 1
+
+    def test_drop_clears_ll_reservation(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def prog(p):
+            yield p.ll(addr)
+            yield p.drop_copy(addr)
+            ok = yield p.sc(addr, 5)
+            return bool(ok)
+
+        assert run_one(m, 0, prog) is False
+
+    def test_store_after_drop_costs_two_messages(self):
+        # The point of drop_copy: the next writer finds the line uncached
+        # and pays 2 serialized messages instead of 4.
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def owner(p):
+            yield p.store(addr, 1)
+            yield p.drop_copy(addr)
+
+        run_one(m, 0, owner)
+        run_one(m, 2, put, addr, 2)
+        assert m.nodes[2].controller.last_chain == 2
+
+    def test_store_without_drop_costs_four_messages(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        run_one(m, 0, put, addr, 1)
+        run_one(m, 2, put, addr, 2)
+        assert m.nodes[2].controller.last_chain == 4
+
+    def test_drop_under_upd_stops_updates(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+
+        def reader_then_drop(p):
+            yield p.load(addr)
+            yield p.drop_copy(addr)
+
+        run_one(m, 0, reader_then_drop)
+        assert 0 not in entry_of(m, addr).sharers
+        # A later store pays 2 serialized messages, not 3.
+        run_one(m, 2, put, addr, 5)
+        assert m.nodes[2].controller.last_chain == 2
+
+
+class TestDropRace:
+    """A recall that crosses an in-flight voluntary writeback.
+
+    The paper: "an exclusive cache line may be dropped just when its owner
+    is about to receive a remote request ... instead of granting the
+    remote request, the local node replies with a negative acknowledgment,
+    and the remote node has to repeat its request."
+    """
+
+    def _race_machine(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        return m, addr
+
+    def test_concurrent_drop_and_write_converge(self):
+        m, addr = self._race_machine()
+
+        def owner(p):
+            yield p.store(addr, 1)
+            yield p.barrier(0, 2)
+            yield p.drop_copy(addr)
+
+        def writer(p):
+            yield p.barrier(0, 2)
+            yield p.store(addr, 2)
+
+        m.spawn(0, owner)
+        m.spawn(2, writer)
+        m.run(max_events=1_000_000)
+        assert m.read_word(addr) == 2
+        entry = entry_of(m, addr)
+        assert entry.state is DirState.EXCLUSIVE and entry.owner == 2
+        assert not entry.busy and not entry.awaiting_wb
+
+    def test_race_with_many_writers_stays_consistent(self):
+        m, addr = self._race_machine()
+        done = []
+
+        def owner(p):
+            yield p.store(addr, 100)
+            yield p.barrier(0, 4)
+            yield p.drop_copy(addr)
+            done.append(p.pid)
+
+        def writer(p):
+            yield p.barrier(0, 4)
+            yield p.store(addr, p.pid)
+            done.append(p.pid)
+
+        m.spawn(0, owner)
+        for pid in (1, 2, 3):
+            m.spawn(pid, writer)
+        m.run(max_events=2_000_000)
+        assert len(done) == 4
+        assert m.read_word(addr) in (1, 2, 3)
+
+    def test_drop_while_own_request_queued(self):
+        # cpu0 drops its line while its next request for the same block is
+        # queued behind another processor's at the home: the stale recall
+        # must be NAK'd, not deferred (deadlock regression test).
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def dropper(p):
+            yield p.store(addr, 1)
+            yield p.barrier(0, 3)
+            yield p.drop_copy(addr)
+            yield p.fetch_add(addr, 1)
+
+        def contender(p):
+            yield p.barrier(0, 3)
+            yield p.fetch_add(addr, 1)
+
+        m.spawn(0, dropper)
+        m.spawn(2, contender)
+        m.spawn(3, contender)
+        m.run(max_events=2_000_000)
+        assert m.read_word(addr) == 4  # 1 + three increments

@@ -1,0 +1,56 @@
+"""Protocol invariants that must not depend on timing or machine size."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import MachineConfig, SimConfig, TimingConfig
+from repro.harness.table1 import TABLE1_EXPECTED, run_table1
+
+
+@pytest.mark.parametrize("timing", [
+    TimingConfig(memory_service=5),
+    TimingConfig(memory_service=100),
+    TimingConfig(hop_cycles=10),
+    TimingConfig(flit_cycles=3),
+    TimingConfig(controller_occupancy=1),
+], ids=["fast-mem", "slow-mem", "slow-hops", "slow-flits", "fast-ctrl"])
+def test_table1_invariant_under_timing(timing):
+    """Serialized message counts are protocol properties: timing-free."""
+    config = SimConfig(machine=MachineConfig(n_nodes=4), timing=timing)
+    assert run_table1(config) == TABLE1_EXPECTED
+
+
+@pytest.mark.parametrize("n_nodes", [4, 9, 16, 64])
+def test_table1_invariant_under_machine_size(n_nodes):
+    config = SimConfig(machine=MachineConfig(n_nodes=n_nodes))
+    assert run_table1(config) == TABLE1_EXPECTED
+
+
+@pytest.mark.parametrize("strategy",
+                         ["bitvector", "limited", "serial", "linkedlist"])
+def test_table1_invariant_under_reservation_strategy(strategy):
+    config = replace(SimConfig(machine=MachineConfig(n_nodes=4)),
+                     reservation_strategy=strategy)
+    assert run_table1(config) == TABLE1_EXPECTED
+
+
+def test_counter_value_invariant_under_timing():
+    """Timing changes reorder events but never lose atomic updates."""
+    from repro import build_machine, SyncPolicy
+    from repro.sync import PrimitiveVariant, increment
+
+    for timing in (TimingConfig(), TimingConfig(memory_service=3),
+                   TimingConfig(hop_cycles=9, flit_cycles=2)):
+        m = build_machine(SimConfig(machine=MachineConfig(n_nodes=8),
+                                    timing=timing))
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        variant = PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True)
+
+        def prog(p):
+            for _ in range(4):
+                yield from increment(p, addr, variant)
+
+        m.spawn_all(prog)
+        m.run(max_events=10_000_000)
+        assert m.read_word(addr) == 32

@@ -1,0 +1,177 @@
+"""The INVd and INVs compare_and_swap variants (paper §3).
+
+A failing CAS under these policies must not invalidate copies held by
+other caches; on failure the requester gets no copy (INVd) or a read-only
+copy (INVs).  On success both behave like plain INV: the requester
+acquires an exclusive copy.
+"""
+
+from repro.cache.line import LineState
+from repro.coherence.policy import SyncPolicy
+from repro.memory.directory import DirState
+
+from tests.conftest import make_machine, run_one, run_seq
+
+
+def cas(p, addr, expected, new):
+    result = yield p.cas(addr, expected, new)
+    return result
+
+
+def put(p, addr, v):
+    yield p.store(addr, v)
+
+
+def get(p, addr):
+    v = yield p.load(addr)
+    return v
+
+
+def line_of(m, pid, addr):
+    return m.nodes[pid].controller.cache.lookup(m.block_of(addr), touch=False)
+
+
+def entry_of(m, addr):
+    block = m.block_of(addr)
+    return m.nodes[m.home_of(block)].home.directory.entry(block)
+
+
+class TestFailureAtHome:
+    """Comparison at the home node (line shared or uncached)."""
+
+    def test_invd_failure_grants_no_copy(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INVD, home=1)
+        m.write_word(addr, 5)
+        result = run_one(m, 0, cas, addr, 1, 2)
+        assert not result.success and result.old == 5
+        assert line_of(m, 0, addr) is None
+
+    def test_invs_failure_grants_readonly_copy(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INVS, home=1)
+        m.write_word(addr, 5)
+        result = run_one(m, 0, cas, addr, 1, 2)
+        assert not result.success and result.old == 5
+        line = line_of(m, 0, addr)
+        assert line is not None and line.state is LineState.SHARED
+        assert line.read_word(m.offset_of(addr)) == 5
+
+    def test_failure_preserves_other_shared_copies(self):
+        for policy in (SyncPolicy.INVD, SyncPolicy.INVS):
+            m = make_machine()
+            addr = m.alloc_sync(policy, home=1)
+            m.write_word(addr, 5)
+            run_one(m, 2, get, addr)          # cpu2 holds a shared copy
+            run_one(m, 0, cas, addr, 1, 2)    # fails
+            assert line_of(m, 2, addr) is not None, policy
+
+    def test_plain_inv_failure_does_invalidate(self):
+        # Contrast: plain INV CAS acquires exclusivity even when failing.
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        m.write_word(addr, 5)
+        run_one(m, 2, get, addr)
+        result = run_one(m, 0, cas, addr, 1, 2)
+        assert not result.success
+        assert line_of(m, 2, addr) is None
+        line = line_of(m, 0, addr)
+        assert line is not None and line.state is LineState.EXCLUSIVE
+
+
+class TestFailureAtOwner:
+    """Comparison delegated to the owner of an exclusive copy."""
+
+    def test_invd_failure_owner_keeps_exclusive(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INVD, home=1)
+        run_one(m, 2, put, addr, 5)           # cpu2 owns the line
+        result = run_one(m, 0, cas, addr, 1, 2)
+        assert not result.success and result.old == 5
+        line = line_of(m, 2, addr)
+        assert line is not None and line.state is LineState.EXCLUSIVE
+        assert line_of(m, 0, addr) is None
+        assert entry_of(m, addr).owner == 2
+
+    def test_invs_failure_owner_demoted_requester_shares(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INVS, home=1)
+        run_one(m, 2, put, addr, 5)
+        result = run_one(m, 0, cas, addr, 1, 2)
+        assert not result.success and result.old == 5
+        owner_line = line_of(m, 2, addr)
+        assert owner_line is not None and owner_line.state is LineState.SHARED
+        req_line = line_of(m, 0, addr)
+        assert req_line is not None and req_line.state is LineState.SHARED
+        assert entry_of(m, addr).sharers == {0, 2}
+
+    def test_success_at_owner_transfers_exclusive(self):
+        for policy in (SyncPolicy.INVD, SyncPolicy.INVS):
+            m = make_machine()
+            addr = m.alloc_sync(policy, home=1)
+            run_one(m, 2, put, addr, 5)
+            result = run_one(m, 0, cas, addr, 5, 9)
+            assert result.success and result.old == 5, policy
+            assert m.read_word(addr) == 9
+            line = line_of(m, 0, addr)
+            assert line is not None and line.state is LineState.EXCLUSIVE
+            assert line_of(m, 2, addr) is None
+            assert entry_of(m, addr).owner == 0
+
+
+class TestSuccessPaths:
+    def test_success_invalidates_sharers(self):
+        for policy in (SyncPolicy.INVD, SyncPolicy.INVS):
+            m = make_machine()
+            addr = m.alloc_sync(policy, home=1)
+            run_one(m, 2, get, addr)
+            result = run_one(m, 0, cas, addr, 0, 4)
+            assert result.success, policy
+            assert line_of(m, 2, addr) is None
+            assert m.read_word(addr) == 4
+
+    def test_local_exclusive_hit_stays_local(self):
+        for policy in (SyncPolicy.INVD, SyncPolicy.INVS):
+            m = make_machine()
+            addr = m.alloc_sync(policy, home=1)
+
+            def prog(p):
+                yield p.store(addr, 1)
+                before = m.mesh.stats.messages
+                result = yield p.cas(addr, 1, 2)
+                return result, m.mesh.stats.messages - before
+
+            result, messages = run_one(m, 0, prog)
+            assert result.success and messages == 0, policy
+            assert m.read_word(addr) == 2
+
+    def test_concurrent_cas_loop_exact(self):
+        for policy in (SyncPolicy.INVD, SyncPolicy.INVS):
+            m = make_machine(8)
+            addr = m.alloc_sync(policy, home=1)
+
+            def prog(p):
+                for _ in range(3):
+                    while True:
+                        old = yield p.load(addr)
+                        ok = yield p.cas(addr, old, old + 1)
+                        if ok:
+                            break
+
+            m.spawn_all(prog)
+            m.run(max_events=5_000_000)
+            assert m.read_word(addr) == 24, policy
+
+    def test_directory_consistent_after_mixed_traffic(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INVS, home=1)
+        run_seq(m, [
+            (0, put, addr, 1),
+            (2, cas, addr, 1, 2),     # success at owner: 2 takes ownership
+            (3, cas, addr, 0, 9),     # failure: 3 gets a shared copy
+            (0, get, addr),
+        ])
+        entry = entry_of(m, addr)
+        assert entry.state is DirState.SHARED
+        assert 0 in entry.sharers and 3 in entry.sharers
+        assert m.read_word(addr) == 2

@@ -1,0 +1,332 @@
+"""load_linked / store_conditional semantics under every policy."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.config import SimConfig, MachineConfig
+from repro import build_machine
+from repro.primitives.ops import LLValue
+
+from tests.conftest import make_machine, run_one, run_seq
+
+POLICIES = [SyncPolicy.INV, SyncPolicy.UPD, SyncPolicy.UNC]
+
+
+def ll_sc(p, addr, new):
+    linked = yield p.ll(addr)
+    ok = yield p.sc(addr, new, linked.token)
+    return linked, ok
+
+
+def put(p, addr, v):
+    yield p.store(addr, v)
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+class TestBasicSemantics:
+    def test_ll_returns_value(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+        m.write_word(addr, 6)
+
+        def prog(p):
+            linked = yield p.ll(addr)
+            return linked
+
+        linked = run_one(m, 0, prog)
+        assert isinstance(linked, LLValue)
+        assert linked.value == 6
+        assert not linked.doomed
+
+    def test_undisturbed_sc_succeeds(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+        _linked, ok = run_one(m, 0, ll_sc, addr, 5)
+        assert ok
+        assert m.read_word(addr) == 5
+
+    def test_sc_after_foreign_store_fails(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+
+        def prog(p):
+            linked = yield p.ll(addr)
+            yield p.barrier(0, 2)   # let cpu2 store
+            yield p.barrier(1, 2)
+            ok = yield p.sc(addr, linked.value + 1, linked.token)
+            return ok
+
+        def interferer(p):
+            yield p.barrier(0, 2)
+            yield p.store(addr, 99)
+            yield p.barrier(1, 2)
+
+        box = {}
+
+        def wrapper(p):
+            box["ok"] = yield from prog(p)
+
+        m.spawn(0, wrapper)
+        m.spawn(2, interferer)
+        m.run()
+        assert box["ok"] is False
+        assert m.read_word(addr) == 99
+
+    def test_sc_after_same_value_store_fails(self, policy):
+        # The property CAS cannot have: a store of the *same* value still
+        # breaks the reservation (no ABA).
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+        m.write_word(addr, 7)
+
+        def prog(p):
+            linked = yield p.ll(addr)
+            yield p.barrier(0, 2)
+            yield p.barrier(1, 2)
+            ok = yield p.sc(addr, 50, linked.token)
+            return ok
+
+        def interferer(p):
+            yield p.barrier(0, 2)
+            yield p.store(addr, 7)  # same value
+            yield p.barrier(1, 2)
+
+        box = {}
+
+        def wrapper(p):
+            box["ok"] = yield from prog(p)
+
+        m.spawn(0, wrapper)
+        m.spawn(2, interferer)
+        m.run()
+        assert box["ok"] is False
+        assert m.read_word(addr) == 7
+
+    def test_sc_without_ll_fails_locally(self, policy):
+        m = make_machine()
+        addr = m.alloc_sync(policy, home=1)
+
+        def prog(p):
+            before = m.mesh.stats.messages
+            ok = yield p.sc(addr, 5)
+            return ok, m.mesh.stats.messages - before
+
+        ok, messages = run_one(m, 0, prog)
+        assert ok is False
+        assert messages == 0
+        assert m.read_word(addr) == 0
+
+    def test_concurrent_llsc_counter_exact(self, policy):
+        m = make_machine(8)
+        addr = m.alloc_sync(policy, home=1)
+
+        def prog(p):
+            for _ in range(4):
+                while True:
+                    linked = yield p.ll(addr)
+                    ok = yield p.sc(addr, linked.value + 1, linked.token)
+                    if ok:
+                        break
+
+        m.spawn_all(prog)
+        m.run(max_events=5_000_000)
+        assert m.read_word(addr) == 32
+
+    def test_two_racing_sc_one_winner(self, policy):
+        m = make_machine(4)
+        addr = m.alloc_sync(policy, home=1)
+        outcomes = {}
+
+        def prog(p):
+            linked = yield p.ll(addr)
+            yield p.barrier(0, 2)  # both hold reservations
+            ok = yield p.sc(addr, p.pid + 10, linked.token)
+            outcomes[p.pid] = bool(ok)
+
+        m.spawn(0, prog)
+        m.spawn(2, prog)
+        m.run()
+        assert sorted(outcomes.values()) == [False, True]
+        winner = [pid for pid, ok in outcomes.items() if ok][0]
+        assert m.read_word(addr) == winner + 10
+
+
+class TestInvReservationDetails:
+    def test_invalidation_clears_reservation(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        run_seq(m, [(0, lambda p: (yield p.ll(addr)))])
+        assert m.nodes[0].controller.reservation.valid
+        run_one(m, 2, put, addr, 1)
+        m.run()
+        assert not m.nodes[0].controller.reservation.valid
+
+    def test_sc_on_exclusive_line_is_local(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def prog(p):
+            yield p.store(addr, 1)      # line exclusive here
+            yield p.ll(addr)
+            before = m.mesh.stats.messages
+            ok = yield p.sc(addr, 2)
+            return ok, m.mesh.stats.messages - before
+
+        ok, messages = run_one(m, 0, prog)
+        assert ok and messages == 0
+        assert m.read_word(addr) == 2
+
+    def test_sc_from_shared_goes_to_home(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def prog(p):
+            yield p.ll(addr)            # shared copy
+            before = m.mesh.stats.messages
+            ok = yield p.sc(addr, 2)
+            return ok, m.mesh.stats.messages - before
+
+        ok, messages = run_one(m, 0, prog)
+        assert ok and messages > 0
+
+    def test_sc_grant_invalidates_other_sharers(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+        def reader(p):
+            yield p.load(addr)
+
+        def writer(p):
+            linked = yield p.ll(addr)
+            ok = yield p.sc(addr, 3, linked.token)
+            return ok
+
+        run_one(m, 2, reader)
+        assert run_one(m, 0, writer)
+        assert m.nodes[2].controller.cache.lookup(m.block_of(addr),
+                                                  touch=False) is None
+
+    def test_ll_on_remote_exclusive_line(self):
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        run_one(m, 2, put, addr, 8)
+        linked, ok = run_one(m, 0, ll_sc, addr, 9)
+        assert linked.value == 8 and ok
+        assert m.read_word(addr) == 9
+
+
+class TestUpdLLTravelsToMemory:
+    def test_ll_goes_to_memory_even_when_cached(self):
+        # Under UPD the reservation lives at the memory, so load_linked
+        # must travel even on a cache hit (paper §3 / §4.3.2).
+        m = make_machine()
+        addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+
+        def prog(p):
+            yield p.load(addr)            # now cached shared
+            before = m.mesh.stats.messages
+            yield p.ll(addr)
+            return m.mesh.stats.messages - before
+
+        assert run_one(m, 0, prog) > 0
+
+
+class TestReservationStrategies:
+    def _machine(self, strategy, n=4):
+        return build_machine(SimConfig(
+            machine=MachineConfig(n_nodes=n),
+            reservation_strategy=strategy,
+            reservation_limit=2,
+        ))
+
+    @pytest.mark.parametrize("strategy", ["bitvector", "limited", "serial"])
+    @pytest.mark.parametrize("policy", [SyncPolicy.UNC, SyncPolicy.UPD],
+                             ids=lambda p: p.value)
+    def test_counter_exact_under_each_strategy(self, strategy, policy):
+        m = self._machine(strategy, n=8)
+        addr = m.alloc_sync(policy, home=1)
+
+        def prog(p):
+            for _ in range(3):
+                while True:
+                    linked = yield p.ll(addr)
+                    ok = yield p.sc(addr, linked.value + 1, linked.token)
+                    if ok:
+                        break
+
+        m.spawn_all(prog)
+        m.run(max_events=5_000_000)
+        assert m.read_word(addr) == 24
+
+    def test_limited_over_capacity_ll_is_doomed(self):
+        m = self._machine("limited")
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+        grants = {}
+
+        def prog(p):
+            linked = yield p.ll(addr)
+            grants[p.pid] = linked.doomed
+            yield p.barrier(0, 3)
+
+        for pid in range(3):
+            m.spawn(pid, prog)
+        m.run()
+        assert sorted(grants.values()) == [False, False, True]
+
+    def test_doomed_sc_fails_without_traffic(self):
+        m = self._machine("limited")
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+        out = {}
+
+        def prog(p):
+            linked = yield p.ll(addr)
+            yield p.barrier(0, 3)
+            if linked.doomed:
+                before = m.mesh.stats.messages
+                ok = yield p.sc(addr, 5)
+                out["doomed_sc"] = (bool(ok), m.mesh.stats.messages - before)
+            yield p.barrier(1, 3)
+
+        for pid in range(3):
+            m.spawn(pid, prog)
+        m.run()
+        assert out["doomed_sc"] == (False, 0)
+
+    def test_serial_strategy_returns_tokens(self):
+        m = self._machine("serial")
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+
+        def prog(p):
+            first = yield p.ll(addr)
+            ok = yield p.sc(addr, 5, first.token)
+            second = yield p.ll(addr)
+            return first.token, bool(ok), second.token
+
+        t1, ok, t2 = run_one(m, 0, prog)
+        assert ok
+        assert t2 == t1 + 1
+
+    def test_serial_bare_sc(self):
+        # A bare store_conditional with a known serial number succeeds
+        # without a preceding load_linked (paper §3.1, the MCS unlock use).
+        m = self._machine("serial")
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+
+        def prog(p):
+            ok = yield p.sc(addr, 7, token=0)
+            return bool(ok)
+
+        assert run_one(m, 0, prog)
+        assert m.read_word(addr) == 7
+
+    def test_serial_bare_sc_with_stale_token_fails(self):
+        m = self._machine("serial")
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+        run_one(m, 0, put, addr, 1)  # bumps the serial
+
+        def prog(p):
+            ok = yield p.sc(addr, 7, token=0)
+            return bool(ok)
+
+        assert run_one(m, 2, prog) is False
+        assert m.read_word(addr) == 1

@@ -1,0 +1,96 @@
+"""Fine-grained reservation semantics at the cache controller."""
+
+from repro import SyncPolicy
+
+from tests.conftest import make_machine, run_one
+
+
+def test_single_outstanding_reservation_newest_wins():
+    # One reservation register per processor (paper §3.1): a second
+    # load_linked to a different address replaces the first, so the
+    # first store_conditional fails locally.
+    m = make_machine(4)
+    a = m.alloc_sync(SyncPolicy.INV, home=1)
+    b = m.alloc_sync(SyncPolicy.INV, home=2)
+
+    def prog(p):
+        yield p.ll(a)
+        yield p.ll(b)                 # replaces the reservation on a
+        ok_a = yield p.sc(a, 5)
+        ok_b = yield p.sc(b, 6)
+        return bool(ok_a), bool(ok_b)
+
+    ok_a, ok_b = run_one(m, 0, prog)
+    assert ok_a is False
+    assert ok_b is True
+    assert m.read_word(a) == 0 and m.read_word(b) == 6
+
+
+def test_second_sc_without_new_ll_fails():
+    # store_conditional consumes the reservation whatever the outcome.
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+    def prog(p):
+        yield p.ll(addr)
+        first = yield p.sc(addr, 1)
+        second = yield p.sc(addr, 2)
+        return bool(first), bool(second)
+
+    first, second = run_one(m, 0, prog)
+    assert first is True and second is False
+    assert m.read_word(addr) == 1
+
+
+def test_reservation_survives_unrelated_accesses():
+    # Loads and stores to *other* blocks between LL and SC are fine (the
+    # paper's §2.1 advice is about what processors may deterministically
+    # break; our idealized machine keeps the reservation).
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    other = m.alloc_data(2)
+
+    def prog(p):
+        linked = yield p.ll(addr)
+        yield p.store(other, 7)
+        value = yield p.load(other)
+        ok = yield p.sc(addr, linked.value + value, linked.token)
+        return bool(ok)
+
+    assert run_one(m, 0, prog) is True
+    assert m.read_word(addr) == 7
+
+
+def test_own_store_to_reserved_block_keeps_reservation():
+    # Hardware-dependent behaviour; we model the permissive choice and
+    # document it (programs that do this are outside the paper's rules).
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+    def prog(p):
+        yield p.ll(addr)
+        yield p.store(addr, 9)
+        ok = yield p.sc(addr, 10)
+        return bool(ok)
+
+    assert run_one(m, 0, prog) is True
+    assert m.read_word(addr) == 10
+
+
+def test_eviction_of_reserved_line_kills_reservation():
+    from repro.config import SimConfig, MachineConfig
+    from repro import build_machine
+
+    m = build_machine(SimConfig(machine=MachineConfig(
+        n_nodes=4, cache_sets=1, cache_assoc=1)))
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    filler = m.alloc_data(1)
+
+    def prog(p):
+        yield p.ll(addr)
+        yield p.load(filler)      # evicts the reserved line
+        ok = yield p.sc(addr, 5)
+        return bool(ok)
+
+    assert run_one(m, 0, prog) is False
+    assert m.read_word(addr) == 0

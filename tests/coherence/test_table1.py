@@ -1,0 +1,21 @@
+"""Table 1 must reproduce exactly: it states protocol properties."""
+
+import pytest
+
+from repro.harness.table1 import TABLE1_EXPECTED, run_table1
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return run_table1()
+
+
+@pytest.mark.parametrize("row", sorted(TABLE1_EXPECTED))
+def test_table1_row(measured, row):
+    assert measured[row] == TABLE1_EXPECTED[row], (
+        f"{row}: measured {measured[row]}, paper says {TABLE1_EXPECTED[row]}"
+    )
+
+
+def test_table1_complete(measured):
+    assert set(measured) == set(TABLE1_EXPECTED)

@@ -1,0 +1,156 @@
+"""Write-update (UPD) policy specifics."""
+
+from repro.cache.line import LineState
+from repro.coherence.policy import SyncPolicy
+from repro.memory.directory import DirState
+
+from tests.conftest import make_machine, run_one, run_seq
+
+
+def put(p, addr, v):
+    yield p.store(addr, v)
+
+
+def get(p, addr):
+    v = yield p.load(addr)
+    return v
+
+
+def line_of(m, pid, addr):
+    return m.nodes[pid].controller.cache.lookup(m.block_of(addr), touch=False)
+
+
+def entry_of(m, addr):
+    block = m.block_of(addr)
+    return m.nodes[m.home_of(block)].home.directory.entry(block)
+
+
+def test_store_updates_all_cached_copies():
+    m = make_machine()
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    run_seq(m, [(0, get, addr), (2, get, addr), (3, put, addr, 9)])
+    offset = m.offset_of(addr)
+    for pid in (0, 2):
+        line = line_of(m, pid, addr)
+        assert line is not None
+        assert line.read_word(offset) == 9
+
+
+def test_writer_retains_shared_copy():
+    m = make_machine()
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    run_one(m, 0, put, addr, 3)
+    line = line_of(m, 0, addr)
+    assert line is not None and line.state is LineState.SHARED
+    # Memory stays the owner: a following local read is a hit.
+    assert run_one(m, 0, get, addr) == 3
+
+
+def test_directory_never_exclusive():
+    m = make_machine()
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    run_seq(m, [(0, put, addr, 1), (2, put, addr, 2), (3, get, addr)])
+    assert entry_of(m, addr).state is DirState.SHARED
+
+
+def test_read_after_remote_write_is_hit():
+    # The UPD advantage: alternating writers keep everyone's read hit rate
+    # high (paper §3: "a high read hit rate, even in the case of
+    # alternating accesses by different processors").
+    m = make_machine()
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    run_seq(m, [(0, get, addr), (2, put, addr, 5)])
+
+    def hit_read(p):
+        before = m.mesh.stats.messages
+        value = yield p.load(addr)
+        return value, m.mesh.stats.messages - before
+
+    value, messages = run_one(m, 0, hit_read)
+    assert value == 5 and messages == 0
+
+
+def test_same_value_store_sends_no_updates():
+    # Memory-side optimization: an update that does not change the word
+    # sends no update traffic (the copies are already coherent).
+    m = make_machine()
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    m.write_word(addr, 7)
+    run_seq(m, [(0, get, addr), (2, get, addr)])
+
+    def same_store(p):
+        yield p.store(addr, 7)
+
+    before = m.mesh.stats.by_type.get("UPDATE", 0)
+    run_one(m, 3, same_store)
+    assert m.mesh.stats.by_type.get("UPDATE", 0) == before
+
+
+def test_failed_cas_sends_no_updates():
+    m = make_machine()
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    m.write_word(addr, 7)
+    run_seq(m, [(0, get, addr), (2, get, addr)])
+
+    def failing_cas(p):
+        result = yield p.cas(addr, 0, 1)
+        return result
+
+    before = m.mesh.stats.by_type.get("UPDATE", 0)
+    result = run_one(m, 3, failing_cas)
+    assert not result.success
+    assert m.mesh.stats.by_type.get("UPDATE", 0) == before
+
+
+def test_successful_cas_updates_copies():
+    m = make_machine()
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    run_seq(m, [(0, get, addr)])
+
+    def winning_cas(p):
+        result = yield p.cas(addr, 0, 4)
+        return result
+
+    assert run_one(m, 2, winning_cas).success
+    assert line_of(m, 0, addr).read_word(m.offset_of(addr)) == 4
+
+
+def test_fetch_add_result_and_updates():
+    m = make_machine()
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    run_seq(m, [(0, get, addr)])
+
+    def adder(p):
+        old = yield p.fetch_add(addr, 5)
+        return old
+
+    assert run_one(m, 2, adder) == 0
+    assert line_of(m, 0, addr).read_word(m.offset_of(addr)) == 5
+    assert m.read_word(addr) == 5
+
+
+def test_evicted_sharer_still_acks_updates():
+    # An UPDATE aimed at a sharer that silently lost its line must still
+    # be acknowledged so the writer's transaction completes.
+    from repro.config import SimConfig, MachineConfig
+    from repro import build_machine
+    m = build_machine(SimConfig(machine=MachineConfig(
+        n_nodes=4, cache_sets=1, cache_assoc=1)))
+    addr = m.alloc_sync(SyncPolicy.UPD, home=1)
+    filler = m.alloc_data(1)
+
+    def reader_then_evict(p):
+        yield p.load(addr)
+        yield p.load(filler)   # evicts the UPD line (drop notice in flight)
+        yield p.barrier(0, 2)
+        yield p.barrier(1, 2)
+
+    def writer(p):
+        yield p.barrier(0, 2)
+        yield p.store(addr, 3)
+        yield p.barrier(1, 2)
+
+    m.spawn(0, reader_then_evict)
+    m.spawn(2, writer)
+    m.run(max_events=1_000_000)
+    assert m.read_word(addr) == 3

@@ -1,0 +1,89 @@
+"""Protocol tracer tests."""
+
+from repro import SyncPolicy
+from repro.debug.trace import ProtocolTracer
+
+from tests.conftest import make_machine, run_one
+
+
+def put(p, addr, v):
+    yield p.store(addr, v)
+
+
+def test_trace_records_transaction_messages():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    tracer = ProtocolTracer(m)
+    run_one(m, 0, put, addr, 5)
+    types = [r.mtype for r in tracer.records]
+    assert "GETX" in types and "DATA_X" in types
+
+
+def test_block_filter():
+    m = make_machine(4)
+    a = m.alloc_sync(SyncPolicy.INV, home=1)
+    b = m.alloc_sync(SyncPolicy.INV, home=1)
+    tracer = ProtocolTracer(m, blocks={m.block_of(a)})
+    run_one(m, 0, put, a, 1)
+    run_one(m, 0, put, b, 2)
+    assert len(tracer) > 0
+    assert all(r.block == m.block_of(a) for r in tracer.records)
+
+
+def test_chain_depths_recorded():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    run_one(m, 2, put, addr, 1)      # make the line remote exclusive
+    tracer = ProtocolTracer(m, blocks={m.block_of(addr)})
+    run_one(m, 0, put, addr, 2)      # 4-serialized-message transfer
+    assert max(r.chain for r in tracer.records) == 4
+
+
+def test_transactions_grouping():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    tracer = ProtocolTracer(m)
+    run_one(m, 0, put, addr, 1)
+    groups = tracer.transactions()
+    assert (0, m.block_of(addr)) in groups
+
+
+def test_render_and_len():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    tracer = ProtocolTracer(m)
+    run_one(m, 0, put, addr, 1)
+    text = tracer.render()
+    assert "GETX" in text
+    assert str(len(tracer)) in text.splitlines()[0]
+    tail = tracer.render(last=1)
+    assert len(tail.splitlines()) == 2
+
+
+def test_limit_drops_excess():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    tracer = ProtocolTracer(m, limit=1)
+    run_one(m, 0, put, addr, 1)
+    assert len(tracer) == 1
+    assert tracer.dropped > 0
+
+
+def test_detach_stops_recording():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    tracer = ProtocolTracer(m)
+    run_one(m, 0, put, addr, 1)
+    count = len(tracer)
+    tracer.detach()
+    run_one(m, 2, put, addr, 2)
+    assert len(tracer) == count
+
+
+def test_chained_observers_both_fire():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    first = ProtocolTracer(m)
+    second = ProtocolTracer(m)   # chains onto the first
+    run_one(m, 0, put, addr, 1)
+    assert len(first) == len(second) > 0

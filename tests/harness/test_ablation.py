@@ -1,0 +1,35 @@
+"""Ablation drivers at small scale."""
+
+from repro import SimConfig
+from repro.harness.ablation import (
+    RESERVATION_STRATEGIES,
+    run_dropcopy_ablation,
+    run_reservation_ablation,
+)
+
+CFG8 = SimConfig().with_nodes(8)
+
+
+def test_reservation_ablation_covers_all_strategies():
+    outcome = run_reservation_ablation(CFG8, contention=4, turns=3,
+                                       reservation_limit=2)
+    assert set(outcome.results) == set(RESERVATION_STRATEGIES)
+    for avg, failures in outcome.results.values():
+        assert avg > 0
+        assert failures >= 0
+    # With limit=2 and 4 contenders, the bounded strategies must shed.
+    assert outcome.results["limited"][1] > 0
+
+
+def test_dropcopy_ablation_table_shape():
+    outcome = run_dropcopy_ablation(CFG8, turns=3)
+    assert outcome.panels == ["a=1", "a=10", "c=8"]
+    assert outcome.variants == ["INV", "INV+dc", "UPD", "UPD+dc"]
+    assert len(outcome.table) == 12
+    assert all(v > 0 for v in outcome.table.values())
+
+
+def test_dropcopy_long_run_claim_at_small_scale():
+    outcome = run_dropcopy_ablation(CFG8, turns=4)
+    # Long write runs: dropping the line is always a loss for INV.
+    assert outcome.table[("a=10", "INV+dc")] > outcome.table[("a=10", "INV")]

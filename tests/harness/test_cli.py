@@ -1,0 +1,52 @@
+"""CLI smoke tests (small machines, captured output)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(lines)
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table1_exits_zero_and_prints():
+    code, text = run_cli(["table1"])
+    assert code == 0
+    assert "Table 1" in text
+    assert "INV to remote exclusive" in text
+
+
+def test_figure3_small():
+    code, text = run_cli(["--nodes", "4", "--turns", "2", "figure3"])
+    assert code == 0
+    assert "FAP/UNC" in text and "CAS+lx/INV" in text
+
+
+def test_ablation_dropcopy_small():
+    code, text = run_cli(["--nodes", "4", "--turns", "2",
+                          "ablation-dropcopy"])
+    assert code == 0
+    assert "INV+dc" in text
+
+
+def test_ablation_reservations_small():
+    code, text = run_cli(["--nodes", "8", "--turns", "2",
+                          "ablation-reservations"])
+    assert code == 0
+    for strategy in ("bitvector", "limited", "linkedlist", "serial"):
+        assert strategy in text
+
+
+def test_out_directory_written(tmp_path):
+    code, text = run_cli(["--nodes", "4", "--turns", "2",
+                          "--out", str(tmp_path), "figure3"])
+    assert code == 0
+    assert (tmp_path / "figure3.txt").exists()
+    assert "FAP/UNC" in (tmp_path / "figure3.txt").read_text()

@@ -1,0 +1,44 @@
+"""The figure variant enumeration must match the paper's bar layout."""
+
+from repro.coherence.policy import SyncPolicy
+from repro.harness.configs import figure_variants, policy_survey_variants
+
+
+def test_twenty_one_bars():
+    assert len(figure_variants()) == 21
+
+
+def test_unc_group_first():
+    variants = figure_variants()
+    assert [v.policy for v in variants[:3]] == [SyncPolicy.UNC] * 3
+    assert [v.family for v in variants[:3]] == ["fap", "llsc", "cas"]
+
+
+def test_inv_groups_have_four_cas_bars_each():
+    variants = figure_variants()
+    for base in (3, 9):  # without and with drop_copy
+        group = variants[base:base + 6]
+        cas_bars = [v for v in group if v.family == "cas"]
+        assert len(cas_bars) == 4
+        policies = {v.policy for v in cas_bars}
+        assert policies == {SyncPolicy.INV, SyncPolicy.INVD, SyncPolicy.INVS}
+        assert sum(v.use_lx for v in cas_bars) == 1
+    assert all(v.use_drop for v in variants[9:15])
+    assert not any(v.use_drop for v in variants[3:9])
+
+
+def test_upd_groups():
+    variants = figure_variants()
+    assert [v.policy for v in variants[15:21]] == [SyncPolicy.UPD] * 6
+    assert not any(v.use_drop for v in variants[15:18])
+    assert all(v.use_drop for v in variants[18:21])
+
+
+def test_labels_unique():
+    labels = [v.label for v in figure_variants()]
+    assert len(labels) == len(set(labels))
+
+
+def test_policy_survey_covers_three_policies():
+    policies = [v.policy for v in policy_survey_variants()]
+    assert policies == [SyncPolicy.UNC, SyncPolicy.INV, SyncPolicy.UPD]

@@ -1,0 +1,51 @@
+"""Scaled-down Figure 2 / Figure 6 harness runs."""
+
+from repro.coherence.policy import SyncPolicy
+from repro.config import SimConfig
+from repro.harness.figure2 import run_figure2
+from repro.harness.figure6 import render_figure6, run_figure6
+from repro.sync.variant import PrimitiveVariant
+
+CFG8 = SimConfig().with_nodes(8)
+
+
+def test_figure2_structure_and_claims():
+    result = run_figure2(CFG8, tclosure_size=12, locusroute_wires=24,
+                         cholesky_columns=24)
+    assert set(result.apps) == {"locusroute", "cholesky", "tclosure"}
+    for app in result.apps:
+        assert set(result.apps[app]) == {"UNC", "INV", "UPD"}
+    # Shape: the barrier-aligned closure app contends far more on average
+    # than the lock-based apps (paper Figure 2).
+    def mean_level(histogram):
+        return sum(level * pct for level, pct in histogram.items()) / 100.0
+
+    for policy in ("UNC", "INV", "UPD"):
+        locus = mean_level(result.histogram("locusroute", policy))
+        chol = mean_level(result.histogram("cholesky", policy))
+        tclo = mean_level(result.histogram("tclosure", policy))
+        assert tclo > locus
+        assert tclo > chol
+
+
+def test_figure2_write_runs_in_lock_regime():
+    result = run_figure2(CFG8, tclosure_size=12, locusroute_wires=24,
+                         cholesky_columns=24)
+    for app in ("locusroute", "cholesky"):
+        for policy in ("UNC", "INV", "UPD"):
+            assert 1.0 <= result.write_run(app, policy) <= 2.2
+
+
+def test_figure6_structure():
+    variants = [
+        PrimitiveVariant("fap", SyncPolicy.UNC),
+        PrimitiveVariant("fap", SyncPolicy.INV),
+    ]
+    result = run_figure6(CFG8, variants=variants, tclosure_size=10,
+                         locusroute_wires=16, cholesky_columns=16)
+    assert set(result.apps) == {"locusroute", "cholesky", "tclosure"}
+    for app, bars in result.apps.items():
+        assert [label for label, _ in bars] == ["FAP/UNC", "FAP/INV"]
+        assert all(cycles > 0 for _, cycles in bars)
+    text = render_figure6(result)
+    assert "FAP/UNC" in text and "cholesky" in text

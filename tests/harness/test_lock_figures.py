@@ -1,0 +1,40 @@
+"""Scaled-down Figure 4 / Figure 5 driver runs (structure + shape)."""
+
+from repro.apps.synthetic import SyntheticSpec
+from repro.coherence.policy import SyncPolicy
+from repro.config import SimConfig
+from repro.harness.figures import run_figure4, run_figure5
+from repro.sync.variant import PrimitiveVariant
+
+CFG8 = SimConfig().with_nodes(8)
+
+VARIANTS = [
+    PrimitiveVariant("fap", SyncPolicy.INV),
+    PrimitiveVariant("fap", SyncPolicy.UPD),
+    PrimitiveVariant("cas", SyncPolicy.UPD),
+    PrimitiveVariant("llsc", SyncPolicy.UPD),
+]
+
+SPECS = [
+    SyntheticSpec(contention=1, turns=4),
+    SyntheticSpec(contention=8, turns=4),
+]
+
+
+def test_figure4_driver_structure_and_upd_claim():
+    panels = run_figure4(CFG8, turns=4, variants=VARIANTS, specs=SPECS)
+    assert [p.label for p in panels] == ["c=1 a=1", "c=8"]
+    contended = panels[1]
+    # The paper's TTS claim at high contention: UPD beats INV.
+    assert contended.value("FAP/UPD") < contended.value("FAP/INV")
+    # And under UPD, CAS beats the LL/SC simulation.
+    assert contended.value("CAS/UPD") < contended.value("LLSC/UPD")
+
+
+def test_figure5_driver_structure_and_simulation_cost():
+    panels = run_figure5(CFG8, turns=4, variants=VARIANTS, specs=SPECS)
+    uncontended = panels[0]
+    # Simulating the MCS atomics with LL/SC costs more than native.
+    assert uncontended.value("LLSC/UPD") > uncontended.value("CAS/UPD")
+    for panel in panels:
+        assert all(value > 0 for _, value in panel.bars)

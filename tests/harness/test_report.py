@@ -1,0 +1,36 @@
+"""Text rendering of tables and histograms."""
+
+from repro.harness.report import render_histogram, render_table
+
+
+def test_table_alignment_and_content():
+    out = render_table(["name", "value"], [["a", 1], ["long-name", 23.5]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "23.5" in out and "long-name" in out
+
+
+def test_table_without_title():
+    out = render_table(["x"], [[1]])
+    assert out.splitlines()[0].strip() == "x"
+
+
+def test_float_formatting():
+    out = render_table(["v"], [[3.14159]])
+    assert "3.1" in out and "3.14159" not in out
+
+
+def test_histogram_bars_scale():
+    out = render_histogram({1: 80.0, 4: 20.0}, title="H")
+    lines = out.splitlines()
+    assert lines[0] == "H"
+    bar1 = lines[1].count("#")
+    bar4 = lines[2].count("#")
+    assert bar1 > bar4 > 0
+
+
+def test_histogram_empty():
+    out = render_histogram({}, title="empty")
+    assert out == "empty"

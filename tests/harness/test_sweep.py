@@ -1,0 +1,67 @@
+"""Sweep utility and CSV export."""
+
+import csv
+
+import pytest
+
+from repro import SimConfig, SyncPolicy
+from repro.apps.synthetic import SyntheticSpec, run_lockfree_counter
+from repro.harness.sweep import (
+    SweepRow,
+    rows_as_dicts,
+    sweep_counter,
+    write_csv,
+)
+from repro.sync.variant import PrimitiveVariant
+
+CFG = SimConfig().with_nodes(4)
+VARIANTS = [
+    PrimitiveVariant("fap", SyncPolicy.UNC),
+    PrimitiveVariant("fap", SyncPolicy.INV),
+]
+SPECS = [
+    SyntheticSpec(contention=1, turns=4),
+    SyntheticSpec(contention=2, turns=4),
+]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sweep_counter(run_lockfree_counter, CFG, VARIANTS, SPECS)
+
+
+def test_cross_product_size(rows):
+    assert len(rows) == len(VARIANTS) * len(SPECS)
+
+
+def test_rows_carry_parameters_and_measurements(rows):
+    first = rows[0]
+    assert isinstance(first, SweepRow)
+    assert first.variant == "FAP/UNC"
+    assert first.contention == 1
+    assert first.updates > 0
+    assert first.avg_cycles > 0
+
+
+def test_rows_as_dicts_columns(rows):
+    dicts = rows_as_dicts(rows)
+    assert dicts[0].keys() == {
+        "variant", "family", "policy", "use_lx", "use_drop", "contention",
+        "write_run", "turns", "updates", "cycles", "avg_cycles",
+        "measured_write_run",
+    }
+
+
+def test_csv_round_trip(rows, tmp_path):
+    path = tmp_path / "sweep.csv"
+    write_csv(path, rows)
+    with open(path, newline="") as handle:
+        loaded = list(csv.DictReader(handle))
+    assert len(loaded) == len(rows)
+    assert loaded[0]["variant"] == rows[0].variant
+    assert float(loaded[0]["avg_cycles"]) == pytest.approx(rows[0].avg_cycles)
+
+
+def test_write_csv_empty_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_csv(tmp_path / "x.csv", [])

@@ -1,0 +1,126 @@
+"""Full-machine integration tests at the paper's scale (64 nodes)."""
+
+import pytest
+
+from repro import SimConfig, SyncPolicy, build_machine
+from repro.sync import (
+    McsLock,
+    PrimitiveVariant,
+    TreeBarrier,
+    TtsLock,
+    increment,
+)
+
+
+@pytest.fixture(scope="module")
+def machine64_factory():
+    def make():
+        return build_machine(SimConfig())
+
+    return make
+
+
+def test_64_node_counter_all_policies(machine64_factory):
+    for policy in (SyncPolicy.INV, SyncPolicy.UPD, SyncPolicy.UNC):
+        m = machine64_factory()
+        addr = m.alloc_sync(policy, home=17)
+        variant = PrimitiveVariant("fap", policy)
+
+        def prog(p):
+            for _ in range(3):
+                yield from increment(p, addr, variant)
+
+        m.spawn_all(prog)
+        m.run(max_events=20_000_000)
+        assert m.read_word(addr) == 64 * 3
+
+
+def test_64_node_mixed_primitive_families(machine64_factory):
+    # A third of the processors use each primitive family on the SAME
+    # counter; all updates must still land.
+    m = machine64_factory()
+    addr = m.alloc_sync(SyncPolicy.INV, home=5)
+    variants = [PrimitiveVariant(f, SyncPolicy.INV)
+                for f in ("fap", "cas", "llsc")]
+
+    def prog(p):
+        variant = variants[p.pid % 3]
+        for _ in range(2):
+            yield from increment(p, addr, variant)
+
+    m.spawn_all(prog)
+    m.run(max_events=40_000_000)
+    assert m.read_word(addr) == 128
+
+
+def test_64_node_tts_and_barrier_pipeline(machine64_factory):
+    # Phases of barrier-separated lock-protected updates.
+    m = machine64_factory()
+    lock = TtsLock(m, PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True))
+    barrier = TreeBarrier(m)
+    counter = m.alloc_data(1)
+
+    def prog(p):
+        for _phase in range(2):
+            yield from lock.acquire(p)
+            value = yield p.load(counter)
+            yield p.store(counter, value + 1)
+            yield from lock.release(p)
+            yield from barrier.wait(p)
+
+    m.spawn_all(prog)
+    m.run(max_events=60_000_000)
+    assert m.read_word(counter) == 128
+
+
+def test_64_node_mcs_fairness(machine64_factory):
+    # Every processor gets the MCS lock exactly as many times as it asks.
+    m = machine64_factory()
+    lock = McsLock(m, PrimitiveVariant("cas", SyncPolicy.INV))
+    grants = [0] * 64
+
+    def prog(p):
+        for _ in range(2):
+            yield from lock.acquire(p)
+            grants[p.pid] += 1
+            yield p.think(10)
+            yield from lock.release(p)
+
+    m.spawn_all(prog)
+    m.run(max_events=60_000_000)
+    assert grants == [2] * 64
+
+
+def test_64_node_many_variables_across_homes(machine64_factory):
+    # 32 counters homed on distinct nodes, each hit by two processors.
+    m = machine64_factory()
+    addrs = [m.alloc_sync(SyncPolicy.INV, home=i * 2) for i in range(32)]
+    variant = PrimitiveVariant("fap", SyncPolicy.INV)
+
+    def prog(p):
+        mine = addrs[p.pid % 32]
+        for _ in range(4):
+            yield from increment(p, mine, variant)
+
+    m.spawn_all(prog)
+    m.run(max_events=40_000_000)
+    for addr in addrs:
+        assert m.read_word(addr) == 8
+
+
+def test_determinism_at_scale(machine64_factory):
+    def run():
+        m = machine64_factory()
+        addr = m.alloc_sync(SyncPolicy.UPD, home=9)
+        variant = PrimitiveVariant("cas", SyncPolicy.UPD)
+
+        def prog(p):
+            for _ in range(2):
+                yield from increment(p, addr, variant)
+                yield p.think(p.rng.randrange(30))
+
+        m.spawn_all(prog)
+        m.run(max_events=40_000_000)
+        return m.now, m.mesh.stats.messages
+
+    assert run() == run()

@@ -1,0 +1,103 @@
+"""Unit tests for the address space and allocator."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import AddressError
+from repro.machine.address import AddressSpace
+
+
+def space(n_nodes=4):
+    return AddressSpace(MachineConfig(n_nodes=n_nodes))
+
+
+def test_block_and_offset_arithmetic():
+    s = space()
+    addr = (5 << 5) + 3 * 4  # block 5, word 3
+    assert s.block_of(addr) == 5
+    assert s.offset_of(addr) == 3
+    assert s.addr_of(5, 3) == addr
+
+
+def test_misaligned_address_rejected():
+    s = space()
+    with pytest.raises(AddressError):
+        s.offset_of(6)
+
+
+def test_negative_address_rejected():
+    s = space()
+    with pytest.raises(AddressError):
+        s.block_of(-4)
+
+
+def test_home_interleaving():
+    s = space(n_nodes=4)
+    for block in range(16):
+        assert s.home_of(block) == block % 4
+
+
+def test_alloc_block_respects_home():
+    s = space(n_nodes=4)
+    for home in (0, 1, 3, 2, 1):
+        addr = s.alloc_block(home)
+        assert s.home_of(s.block_of(addr)) == home
+
+
+def test_alloc_block_never_reuses():
+    s = space(n_nodes=4)
+    seen = set()
+    for _ in range(20):
+        for home in range(4):
+            addr = s.alloc_block(home)
+            assert addr not in seen
+            seen.add(addr)
+
+
+def test_alloc_block_bad_home_rejected():
+    s = space(n_nodes=4)
+    with pytest.raises(AddressError):
+        s.alloc_block(4)
+
+
+def test_alloc_array_contiguous_blocks():
+    s = space(n_nodes=4)
+    base = s.alloc_array(24)  # 24 words = 3 blocks
+    blocks = {s.block_of(base + i * 4) for i in range(24)}
+    assert len(blocks) == 3
+    assert max(blocks) - min(blocks) == 2
+
+
+def test_alloc_array_homes_rotate():
+    s = space(n_nodes=4)
+    base = s.alloc_array(4 * 8 * 4)  # 16 blocks
+    homes = {s.home_of(s.block_of(base)) for base in
+             (base + i * 32 for i in range(16))}
+    assert homes == {0, 1, 2, 3}
+
+
+def test_arrays_and_singles_disjoint():
+    s = space(n_nodes=4)
+    single = s.alloc_block(0)
+    array = s.alloc_array(8)
+    assert s.block_of(single) != s.block_of(array)
+    assert s.block_of(array) > s.block_of(single)
+
+
+def test_two_arrays_disjoint():
+    s = space()
+    a = s.alloc_array(10)
+    b = s.alloc_array(10)
+    blocks_a = {s.block_of(a + i * 4) for i in range(10)}
+    blocks_b = {s.block_of(b + i * 4) for i in range(10)}
+    assert not blocks_a & blocks_b
+
+
+def test_zero_word_array_rejected():
+    with pytest.raises(AddressError):
+        space().alloc_array(0)
+
+
+def test_offset_out_of_block_rejected():
+    with pytest.raises(AddressError):
+        space().addr_of(1, 8)

@@ -1,0 +1,77 @@
+"""Unit tests for directory entries."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.memory.directory import Directory, DirectoryEntry, DirState
+
+
+def test_new_entry_uncached():
+    entry = DirectoryEntry()
+    assert entry.state is DirState.UNCACHED
+    assert not entry.sharers and entry.owner is None
+    assert not entry.busy and not entry.awaiting_wb
+
+
+def test_add_sharer_transitions_to_shared():
+    entry = DirectoryEntry()
+    entry.add_sharer(3)
+    assert entry.state is DirState.SHARED
+    assert entry.sharers == {3}
+
+
+def test_add_sharer_to_exclusive_rejected():
+    entry = DirectoryEntry()
+    entry.set_exclusive(1)
+    with pytest.raises(ProtocolError):
+        entry.add_sharer(2)
+
+
+def test_set_exclusive_clears_sharers():
+    entry = DirectoryEntry()
+    entry.add_sharer(1)
+    entry.add_sharer(2)
+    entry.set_exclusive(3)
+    assert entry.state is DirState.EXCLUSIVE
+    assert entry.owner == 3
+    assert not entry.sharers
+
+
+def test_remove_last_sharer_collapses_to_uncached():
+    entry = DirectoryEntry()
+    entry.add_sharer(1)
+    entry.remove_sharer(1)
+    assert entry.state is DirState.UNCACHED
+
+
+def test_remove_one_of_many_sharers():
+    entry = DirectoryEntry()
+    entry.add_sharer(1)
+    entry.add_sharer(2)
+    entry.remove_sharer(1)
+    assert entry.state is DirState.SHARED
+    assert entry.sharers == {2}
+
+
+def test_set_shared_empty_means_uncached():
+    entry = DirectoryEntry()
+    entry.set_shared(set())
+    assert entry.state is DirState.UNCACHED
+
+
+def test_set_uncached_resets_everything():
+    entry = DirectoryEntry()
+    entry.set_exclusive(2)
+    entry.set_uncached()
+    assert entry.state is DirState.UNCACHED
+    assert entry.owner is None
+
+
+def test_directory_creates_entries_on_demand():
+    directory = Directory(0)
+    assert len(directory) == 0
+    entry = directory.entry(42)
+    assert entry.state is DirState.UNCACHED
+    assert directory.entry(42) is entry
+    assert directory.known_blocks() == [42]
+    assert len(directory) == 1

@@ -1,0 +1,217 @@
+"""Unit tests for the three LL/SC reservation strategies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.reservations import (
+    BitVectorReservations,
+    LimitedReservations,
+    LinkedListReservations,
+    SerialNumberReservations,
+    make_reservation_table,
+)
+
+
+# ----------------------------------------------------------------------
+# Bit vector.
+# ----------------------------------------------------------------------
+
+class TestBitVector:
+    def test_ll_then_sc_succeeds(self):
+        table = BitVectorReservations(4)
+        grant = table.load_linked(1, 10)
+        assert not grant.doomed and grant.token is None
+        assert table.consume(1, 10, None)
+
+    def test_sc_without_ll_fails(self):
+        table = BitVectorReservations(4)
+        assert not table.consume(2, 10, None)
+
+    def test_write_kills_all_reservations(self):
+        table = BitVectorReservations(4)
+        table.load_linked(0, 10)
+        table.load_linked(1, 10)
+        table.write(10)
+        assert not table.check(0, 10, None)
+        assert not table.check(1, 10, None)
+
+    def test_successful_sc_kills_other_reservations(self):
+        table = BitVectorReservations(4)
+        table.load_linked(0, 10)
+        table.load_linked(1, 10)
+        assert table.consume(0, 10, None)
+        assert not table.consume(1, 10, None)
+
+    def test_reservations_per_block(self):
+        table = BitVectorReservations(4)
+        table.load_linked(0, 10)
+        table.load_linked(0, 11)
+        table.write(10)
+        assert table.check(0, 11, None)
+        assert not table.check(0, 10, None)
+
+    def test_holders(self):
+        table = BitVectorReservations(8)
+        for pid in range(5):
+            table.load_linked(pid, 3)
+        assert table.holders(3) == 5
+
+
+# ----------------------------------------------------------------------
+# Limited.
+# ----------------------------------------------------------------------
+
+class TestLimited:
+    def test_over_limit_is_doomed(self):
+        table = LimitedReservations(8, limit=2)
+        assert not table.load_linked(0, 5).doomed
+        assert not table.load_linked(1, 5).doomed
+        assert table.load_linked(2, 5).doomed
+        assert table.denied == 1
+
+    def test_doomed_sc_fails(self):
+        table = LimitedReservations(8, limit=1)
+        table.load_linked(0, 5)
+        table.load_linked(1, 5)  # doomed
+        assert not table.consume(1, 5, None)
+        assert table.consume(0, 5, None)
+
+    def test_repeat_ll_by_holder_not_doomed(self):
+        table = LimitedReservations(8, limit=1)
+        assert not table.load_linked(0, 5).doomed
+        assert not table.load_linked(0, 5).doomed
+
+    def test_write_frees_slots(self):
+        table = LimitedReservations(8, limit=1)
+        table.load_linked(0, 5)
+        table.write(5)
+        assert not table.load_linked(1, 5).doomed
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            LimitedReservations(8, limit=0)
+
+
+# ----------------------------------------------------------------------
+# Serial numbers.
+# ----------------------------------------------------------------------
+
+class TestSerial:
+    def test_ll_returns_current_serial(self):
+        table = SerialNumberReservations(4)
+        assert table.load_linked(0, 9).token == 0
+        table.write(9)
+        assert table.load_linked(0, 9).token == 1
+
+    def test_sc_with_current_serial_succeeds(self):
+        table = SerialNumberReservations(4)
+        token = table.load_linked(0, 9).token
+        assert table.consume(0, 9, token)
+
+    def test_sc_with_stale_serial_fails(self):
+        table = SerialNumberReservations(4)
+        token = table.load_linked(0, 9).token
+        table.write(9)
+        assert not table.consume(0, 9, token)
+
+    def test_success_bumps_serial(self):
+        table = SerialNumberReservations(4)
+        token = table.load_linked(0, 9).token
+        assert table.consume(0, 9, token)
+        assert not table.consume(0, 9, token)  # serial moved on
+
+    def test_bare_sc_with_known_serial(self):
+        # No load_linked at all: a processor that knows the serial number
+        # may attempt a bare store_conditional (paper §3.1).
+        table = SerialNumberReservations(4)
+        assert table.consume(3, 9, 0)
+        assert not table.consume(3, 9, 0)
+
+    def test_sc_without_token_fails(self):
+        table = SerialNumberReservations(4)
+        table.load_linked(0, 9)
+        assert not table.consume(0, 9, None)
+
+    def test_aba_immunity(self):
+        # Value-based CAS cannot see a write of the same value; the serial
+        # number can.  Two writes (back to the original value) must fail
+        # the pending store_conditional.
+        table = SerialNumberReservations(4)
+        token = table.load_linked(0, 9).token
+        table.write(9)
+        table.write(9)
+        assert not table.consume(0, 9, token)
+
+
+# ----------------------------------------------------------------------
+# Linked list (bounded free list).
+# ----------------------------------------------------------------------
+
+class TestLinkedList:
+    def test_ll_then_sc_succeeds(self):
+        table = LinkedListReservations(8, pool_size=4)
+        assert not table.load_linked(0, 5).doomed
+        assert table.consume(0, 5, None)
+
+    def test_pool_exhaustion_dooms(self):
+        table = LinkedListReservations(8, pool_size=2)
+        assert not table.load_linked(0, 5).doomed
+        assert not table.load_linked(1, 6).doomed
+        assert table.load_linked(2, 7).doomed
+        assert table.denied == 1
+
+    def test_pool_is_shared_across_blocks(self):
+        table = LinkedListReservations(8, pool_size=2)
+        table.load_linked(0, 5)
+        table.load_linked(1, 5)
+        # Different block, but the module-wide free list is empty.
+        assert table.load_linked(2, 99).doomed
+
+    def test_write_returns_nodes_to_free_list(self):
+        table = LinkedListReservations(8, pool_size=2)
+        table.load_linked(0, 5)
+        table.load_linked(1, 5)
+        assert table.free_nodes == 0
+        table.write(5)
+        assert table.free_nodes == 2
+        assert not table.load_linked(2, 6).doomed
+
+    def test_repeat_ll_by_holder_uses_no_node(self):
+        table = LinkedListReservations(8, pool_size=1)
+        table.load_linked(0, 5)
+        assert not table.load_linked(0, 5).doomed
+        assert table.free_nodes == 0
+
+    def test_successful_sc_frees_whole_block_list(self):
+        table = LinkedListReservations(8, pool_size=3)
+        table.load_linked(0, 5)
+        table.load_linked(1, 5)
+        assert table.consume(0, 5, None)
+        assert table.free_nodes == 3
+        assert not table.check(1, 5, None)
+
+    def test_holders(self):
+        table = LinkedListReservations(8, pool_size=8)
+        for pid in range(3):
+            table.load_linked(pid, 5)
+        assert table.holders(5) == 3
+
+
+# ----------------------------------------------------------------------
+# Factory.
+# ----------------------------------------------------------------------
+
+class TestFactory:
+    def test_factory_builds_each(self):
+        assert isinstance(make_reservation_table("bitvector", 4),
+                          BitVectorReservations)
+        assert isinstance(make_reservation_table("limited", 4, 2),
+                          LimitedReservations)
+        assert isinstance(make_reservation_table("serial", 4),
+                          SerialNumberReservations)
+        assert isinstance(make_reservation_table("linkedlist", 4),
+                          LinkedListReservations)
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            make_reservation_table("magic", 4)

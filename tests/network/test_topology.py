@@ -1,0 +1,86 @@
+"""Unit tests for the 2-D mesh topology."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.topology import Mesh2D
+
+
+def test_coords_row_major():
+    mesh = Mesh2D(16, width=4)
+    assert mesh.coords(0) == (0, 0)
+    assert mesh.coords(3) == (3, 0)
+    assert mesh.coords(4) == (0, 1)
+    assert mesh.coords(15) == (3, 3)
+
+
+def test_distance_is_manhattan():
+    mesh = Mesh2D(16, width=4)
+    assert mesh.distance(0, 0) == 0
+    assert mesh.distance(0, 3) == 3
+    assert mesh.distance(0, 15) == 6
+    assert mesh.distance(5, 10) == 2
+
+
+def test_distance_symmetric():
+    mesh = Mesh2D(64, width=8)
+    for a, b in [(0, 63), (7, 56), (12, 34)]:
+        assert mesh.distance(a, b) == mesh.distance(b, a)
+
+
+def test_route_endpoints_and_length():
+    mesh = Mesh2D(16, width=4)
+    route = mesh.route(0, 15)
+    assert route[0] == 0
+    assert route[-1] == 15
+    assert len(route) == mesh.distance(0, 15) + 1
+
+
+def test_route_steps_are_neighbors():
+    mesh = Mesh2D(64, width=8)
+    route = mesh.route(3, 60)
+    for a, b in zip(route, route[1:]):
+        assert mesh.distance(a, b) == 1
+
+
+def test_triangle_inequality():
+    mesh = Mesh2D(64, width=8)
+    for a, b, c in [(0, 9, 63), (5, 40, 22)]:
+        assert mesh.distance(a, c) <= mesh.distance(a, b) + mesh.distance(b, c)
+
+
+def test_default_width_is_near_square():
+    mesh = Mesh2D(64)
+    assert mesh.width == 8
+    assert mesh.height == 8
+
+
+def test_non_square_machine():
+    mesh = Mesh2D(6, width=3)
+    assert mesh.height == 2
+    assert mesh.coords(5) == (2, 1)
+
+
+def test_single_node():
+    mesh = Mesh2D(1)
+    assert mesh.distance(0, 0) == 0
+    assert mesh.average_distance() == 0.0
+
+
+def test_average_distance_64():
+    mesh = Mesh2D(64, width=8)
+    # Mean Manhattan distance on an 8x8 grid is 2*(64-1)/... known ~5.33.
+    assert 5.0 < mesh.average_distance() < 5.7
+
+
+def test_out_of_range_node_rejected():
+    mesh = Mesh2D(4, width=2)
+    with pytest.raises(ConfigError):
+        mesh.coords(4)
+    with pytest.raises(ConfigError):
+        mesh.distance(0, -1)
+
+
+def test_zero_nodes_rejected():
+    with pytest.raises(ConfigError):
+        Mesh2D(0)

@@ -1,0 +1,74 @@
+"""Unit and property tests for fetch_and_phi value semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.primitives.semantics import PhiOp, WORD_MASK, apply_phi
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+def test_add():
+    assert apply_phi(PhiOp.ADD, 5, 3) == 8
+
+
+def test_add_wraps_at_32_bits():
+    assert apply_phi(PhiOp.ADD, WORD_MASK, 1) == 0
+
+
+def test_store_replaces():
+    assert apply_phi(PhiOp.STORE, 123, 9) == 9
+
+
+def test_or():
+    assert apply_phi(PhiOp.OR, 0b1010, 0b0110) == 0b1110
+
+
+def test_and():
+    assert apply_phi(PhiOp.AND, 0b1010, 0b0110) == 0b0010
+
+
+def test_test_and_set_stores_one():
+    assert apply_phi(PhiOp.TEST_AND_SET, 0, 999) == 1
+    assert apply_phi(PhiOp.TEST_AND_SET, 1, 0) == 1
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        apply_phi("nope", 0, 0)
+
+
+@given(old=words, operand=words)
+def test_results_stay_in_word_range(old, operand):
+    for op in PhiOp:
+        assert 0 <= apply_phi(op, old, operand) <= WORD_MASK
+
+
+@given(old=words, operand=words)
+def test_add_is_modular(old, operand):
+    assert apply_phi(PhiOp.ADD, old, operand) == (old + operand) % (WORD_MASK + 1)
+
+
+@given(old=words, operand=words)
+def test_or_is_monotone(old, operand):
+    result = apply_phi(PhiOp.OR, old, operand)
+    assert result | old == result
+    assert result | operand == result
+
+
+@given(old=words, operand=words)
+def test_and_is_restrictive(old, operand):
+    result = apply_phi(PhiOp.AND, old, operand)
+    assert result & old == result
+    assert result & operand == result
+
+
+@given(old=words, a=words, b=words)
+def test_store_last_writer_wins(old, a, b):
+    assert apply_phi(PhiOp.STORE, apply_phi(PhiOp.STORE, old, a), b) == b
+
+
+@given(old=words)
+def test_test_and_set_idempotent(old):
+    once = apply_phi(PhiOp.TEST_AND_SET, old, 0)
+    assert apply_phi(PhiOp.TEST_AND_SET, once, 0) == once == 1

@@ -1,0 +1,217 @@
+"""Property-based tests of protocol correctness.
+
+These drive the full machine with randomized programs and check the
+outcomes against pure-Python models: sequential value semantics,
+atomicity of concurrent read-modify-writes, and linearizability of
+fetch_and_store chains.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import SimConfig, SyncPolicy, build_machine
+from repro.config import MachineConfig
+from repro.primitives.semantics import WORD_MASK, apply_phi, PhiOp
+
+POLICIES = list(SyncPolicy)
+FAP_POLICIES = [SyncPolicy.INV, SyncPolicy.UPD, SyncPolicy.UNC]
+
+policy_st = st.sampled_from(POLICIES)
+small_word = st.integers(min_value=0, max_value=255)
+
+
+def fresh_machine(n_nodes=4):
+    return build_machine(SimConfig(machine=MachineConfig(n_nodes=n_nodes)))
+
+
+# An op is (kind, pid, value): executed sequentially, modeled in Python.
+op_st = st.tuples(
+    st.sampled_from(["store", "faa", "tset", "fstore", "cas_hit", "cas_miss",
+                     "load"]),
+    st.integers(min_value=0, max_value=3),
+    small_word,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(policy=st.sampled_from(FAP_POLICIES), ops=st.lists(op_st, max_size=12))
+def test_sequential_ops_match_value_model(policy, ops):
+    """Any sequential op mix leaves memory agreeing with a pure model."""
+    machine = fresh_machine()
+    addr = machine.alloc_sync(policy, home=1)
+    model = 0
+    for kind, pid, value in ops:
+        result_box = {}
+
+        def program(p, kind=kind, value=value):
+            if kind == "store":
+                yield p.store(addr, value)
+            elif kind == "faa":
+                result_box["r"] = yield p.fetch_add(addr, value)
+            elif kind == "tset":
+                result_box["r"] = yield p.test_and_set(addr)
+            elif kind == "fstore":
+                result_box["r"] = yield p.fetch_store(addr, value)
+            elif kind == "cas_hit":
+                result_box["r"] = yield p.cas(addr, model, value)
+            elif kind == "cas_miss":
+                result_box["r"] = yield p.cas(addr, model + 1 + value, 77)
+            else:
+                result_box["r"] = yield p.load(addr)
+
+        machine.spawn(pid, program)
+        machine.run()
+
+        if kind == "store":
+            model = value
+        elif kind == "faa":
+            assert result_box["r"] == model
+            model = apply_phi(PhiOp.ADD, model, value)
+        elif kind == "tset":
+            assert result_box["r"] == model
+            model = 1
+        elif kind == "fstore":
+            assert result_box["r"] == model
+            model = value
+        elif kind == "cas_hit":
+            assert result_box["r"].success and result_box["r"].old == model
+            model = value
+        elif kind == "cas_miss":
+            assert not result_box["r"].success
+        else:
+            assert result_box["r"] == model
+    assert machine.read_word(addr) == model
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    policy=st.sampled_from(FAP_POLICIES),
+    increments=st.lists(
+        st.integers(min_value=1, max_value=5), min_size=2, max_size=6),
+)
+def test_concurrent_fetch_add_is_atomic(policy, increments):
+    """Concurrent fetch_adds never lose updates, under any policy."""
+    machine = fresh_machine(n_nodes=8)
+    addr = machine.alloc_sync(policy, home=1)
+
+    def program(p, count):
+        for _ in range(count):
+            yield p.fetch_add(addr, 1)
+            yield p.think(p.rng.randrange(8))
+
+    for pid, count in enumerate(increments):
+        machine.spawn(pid, program, count)
+    machine.run(max_events=5_000_000)
+    assert machine.read_word(addr) == sum(increments)
+
+
+@settings(max_examples=15, deadline=None)
+@given(policy=st.sampled_from(FAP_POLICIES),
+       n_procs=st.integers(min_value=2, max_value=8))
+def test_fetch_store_chain_linearizes(policy, n_procs):
+    """Concurrent fetch_and_stores form one linear ownership chain.
+
+    Every processor swaps in its own tag; collecting (old -> new) edges
+    must yield a single path starting at the initial value and ending at
+    the final memory value, visiting each tag exactly once.
+    """
+    machine = fresh_machine(n_nodes=8)
+    addr = machine.alloc_sync(policy, home=1)
+    edges = {}
+
+    def program(p):
+        old = yield p.fetch_store(addr, p.pid + 1)
+        edges[p.pid + 1] = old
+
+    for pid in range(n_procs):
+        machine.spawn(pid, program)
+    machine.run(max_events=5_000_000)
+
+    final = machine.read_word(addr)
+    # Follow the chain backwards from the final tag.
+    seen = []
+    cursor = final
+    while cursor != 0:
+        seen.append(cursor)
+        cursor = edges[cursor]
+    assert sorted(seen) == list(range(1, n_procs + 1))
+
+
+@settings(max_examples=10, deadline=None)
+@given(policy=st.sampled_from(POLICIES),
+       n_procs=st.integers(min_value=2, max_value=6),
+       iters=st.integers(min_value=1, max_value=3))
+def test_cas_loop_counter_never_loses_updates(policy, n_procs, iters):
+    machine = fresh_machine(n_nodes=8)
+    addr = machine.alloc_sync(policy, home=1)
+
+    def program(p):
+        for _ in range(iters):
+            while True:
+                old = yield p.load(addr)
+                ok = yield p.cas(addr, old, old + 1)
+                if ok:
+                    break
+
+    for pid in range(n_procs):
+        machine.spawn(pid, program)
+    machine.run(max_events=10_000_000)
+    assert machine.read_word(addr) == n_procs * iters
+
+
+@settings(max_examples=10, deadline=None)
+@given(strategy=st.sampled_from(["bitvector", "limited", "serial"]),
+       policy=st.sampled_from([SyncPolicy.UNC, SyncPolicy.UPD, SyncPolicy.INV]),
+       n_procs=st.integers(min_value=2, max_value=6))
+def test_llsc_counter_exact_any_strategy(strategy, policy, n_procs):
+    machine = build_machine(SimConfig(
+        machine=MachineConfig(n_nodes=8),
+        reservation_strategy=strategy,
+        reservation_limit=2,
+    ))
+    addr = machine.alloc_sync(policy, home=1)
+
+    def program(p):
+        for _ in range(2):
+            while True:
+                linked = yield p.ll(addr)
+                ok = yield p.sc(addr, linked.value + 1, linked.token)
+                if ok:
+                    break
+
+    for pid in range(n_procs):
+        machine.spawn(pid, program)
+    machine.run(max_events=10_000_000)
+    assert machine.read_word(addr) == n_procs * 2
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_mixed_blocks_stay_independent(seed):
+    """Random traffic on several blocks never bleeds between addresses."""
+    import random as pyrandom
+    rng = pyrandom.Random(seed)
+    machine = fresh_machine(n_nodes=4)
+    addrs = [machine.alloc_sync(rng.choice(FAP_POLICIES), home=rng.randrange(4))
+             for _ in range(3)]
+    expected = [0, 0, 0]
+    plan = {pid: [] for pid in range(4)}
+    for _ in range(10):
+        pid = rng.randrange(4)
+        idx = rng.randrange(3)
+        plan[pid].append(idx)
+
+    totals = [0, 0, 0]
+    for pid, idxs in plan.items():
+        for idx in idxs:
+            totals[idx] += 1
+
+    def program(p, idxs):
+        for idx in idxs:
+            yield p.fetch_add(addrs[idx], 1)
+
+    for pid, idxs in plan.items():
+        machine.spawn(pid, program, idxs)
+    machine.run(max_events=5_000_000)
+    for idx in range(3):
+        assert machine.read_word(addrs[idx]) == totals[idx]
+    del expected

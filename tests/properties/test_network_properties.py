@@ -1,0 +1,109 @@
+"""Property-based tests of the interconnect model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MachineConfig, SimConfig
+from repro.network.mesh import WormholeMesh
+from repro.network.message import Message, MessageType, Unit
+from repro.network.topology import Mesh2D
+from repro.sim.engine import Simulator
+
+node_counts = st.integers(min_value=1, max_value=64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=node_counts, data=st.data())
+def test_distance_metric_axioms(n, data):
+    mesh = Mesh2D(n)
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    c = data.draw(st.integers(0, n - 1))
+    assert mesh.distance(a, a) == 0
+    assert mesh.distance(a, b) == mesh.distance(b, a)
+    assert mesh.distance(a, c) <= mesh.distance(a, b) + mesh.distance(b, c)
+    if a != b:
+        assert mesh.distance(a, b) >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=64), data=st.data())
+def test_route_length_equals_distance(n, data):
+    mesh = Mesh2D(n)
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    route = mesh.route(a, b)
+    assert len(route) == mesh.distance(a, b) + 1
+    assert route[0] == a and route[-1] == b
+    for x, y in zip(route, route[1:]):
+        assert mesh.distance(x, y) == 1
+
+
+def _delivery_time(n_nodes, src, dst, mtype):
+    sim = Simulator()
+    config = SimConfig(machine=MachineConfig(n_nodes=n_nodes))
+    mesh = WormholeMesh(sim, config)
+    arrival = []
+    mesh.register(dst, Unit.HOME, lambda m: arrival.append(sim.now))
+    mesh.send(Message(mtype=mtype, src=src, dst=dst, unit=Unit.HOME,
+                      block=0))
+    sim.run()
+    return arrival[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_latency_monotone_in_distance(data):
+    n = 16
+    src = data.draw(st.integers(0, n - 1))
+    near = data.draw(st.integers(0, n - 1))
+    far = data.draw(st.integers(0, n - 1))
+    mesh = Mesh2D(n)
+    if mesh.distance(src, near) > mesh.distance(src, far):
+        near, far = far, near
+    if src in (near, far) or near == far:
+        return
+    t_near = _delivery_time(n, src, near, MessageType.GETS)
+    t_far = _delivery_time(n, src, far, MessageType.GETS)
+    assert t_near <= t_far
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    kinds=st.lists(
+        st.sampled_from([MessageType.GETS, MessageType.DATA_S,
+                         MessageType.WB, MessageType.INV]),
+        min_size=2, max_size=6,
+    )
+)
+def test_same_pair_messages_deliver_in_order(kinds):
+    """FIFO per (src, dst) pair regardless of message sizes."""
+    sim = Simulator()
+    config = SimConfig(machine=MachineConfig(n_nodes=4))
+    mesh = WormholeMesh(sim, config)
+    arrived = []
+    mesh.register(2, Unit.HOME, lambda m: arrived.append(m.payload["seq"]))
+    for i, mtype in enumerate(kinds):
+        msg = Message(mtype=mtype, src=0, dst=2, unit=Unit.HOME, block=0,
+                      payload={"seq": i})
+        mesh.send(msg)
+    sim.run()
+    assert arrived == list(range(len(kinds)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(burst=st.integers(1, 10))
+def test_entry_port_throughput_bound(burst):
+    """N same-size messages from one node serialize at >= flit rate."""
+    sim = Simulator()
+    config = SimConfig(machine=MachineConfig(n_nodes=4))
+    mesh = WormholeMesh(sim, config)
+    arrivals = []
+    for dst in (1, 2, 3):
+        mesh.register(dst, Unit.HOME, lambda m: arrivals.append(sim.now))
+    for i in range(burst):
+        mesh.send(Message(mtype=MessageType.DATA_S, src=0, dst=1 + i % 3,
+                          unit=Unit.HOME, block=0))
+    sim.run()
+    flits = config.machine.data_flits(config.timing)
+    span = max(arrivals) - min(arrivals) if len(arrivals) > 1 else 0
+    assert span >= (burst - 1) * flits * config.timing.flit_cycles - flits

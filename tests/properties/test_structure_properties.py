@@ -1,0 +1,206 @@
+"""Property-based stress of locks and lock-free structures.
+
+Randomized mixes of operations, backed by the history checkers of
+:mod:`repro.verify` — the closest this suite gets to fuzzing the full
+protocol stack.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import SimConfig, SyncPolicy, build_machine
+from repro.config import MachineConfig
+from repro.sync.lockfree import EMPTY, LockFreeQueue, TreiberStack
+from repro.sync.tts_lock import TtsLock
+from repro.sync.variant import PrimitiveVariant
+from repro.verify.checkers import (
+    check_mutual_exclusion,
+    check_queue_history,
+    check_stack_history,
+)
+from repro.verify.history import History
+
+
+def machine(n=8, **kwargs):
+    return build_machine(SimConfig(machine=MachineConfig(n_nodes=n), **kwargs))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    family=st.sampled_from(["cas", "llsc"]),
+    plan=st.lists(
+        st.tuples(st.integers(0, 7), st.sampled_from(["push", "pop"])),
+        min_size=1, max_size=24,
+    ),
+)
+def test_stack_random_mixes_conserve_elements(family, plan):
+    m = machine()
+    stack = TreiberStack(m, PrimitiveVariant(family, SyncPolicy.INV),
+                         capacity=64)
+    history = History(m)
+    per_pid: dict[int, list[str]] = {}
+    for pid, op in plan:
+        per_pid.setdefault(pid, []).append(op)
+    tokens = iter(range(1, 1000))
+    token_of = {}
+    for pid, ops in per_pid.items():
+        token_of[pid] = [next(tokens) for op in ops if op == "push"]
+
+    def program(p, ops, values):
+        values = list(values)
+        for op in ops:
+            if op == "push":
+                value = values.pop(0)
+                yield from history.wrap(p, "push", value,
+                                        stack.push(p, value))
+            else:
+                yield from history.wrap(p, "pop", None, stack.pop(p))
+            yield p.think(p.rng.randrange(20))
+
+    for pid, ops in per_pid.items():
+        m.spawn(pid, program, ops, token_of[pid])
+    m.run(max_events=20_000_000)
+
+    # Whatever remains on the stack are the leftovers.
+    leftovers = []
+
+    def drain(p):
+        while True:
+            value = yield from stack.pop(p)
+            if value is EMPTY:
+                return
+            leftovers.append(value)
+
+    m.spawn(0, drain)
+    m.run(max_events=20_000_000)
+    check_stack_history(history, leftovers=leftovers)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    family=st.sampled_from(["cas", "llsc"]),
+    producers=st.integers(1, 3),
+    items=st.integers(1, 6),
+)
+def test_queue_random_producers_consumers(family, producers, items):
+    m = machine()
+    queue = LockFreeQueue(m, PrimitiveVariant(family, SyncPolicy.INV),
+                          capacity=64)
+    history = History(m)
+    total = producers * items
+
+    def producer(p):
+        for i in range(items):
+            value = p.pid * 100 + i
+            yield from history.wrap(p, "enq", value,
+                                    queue.enqueue(p, value))
+            yield p.think(p.rng.randrange(25))
+
+    consumed = []
+
+    def consumer(p, quota):
+        got = 0
+        while got < quota:
+            value = yield from history.wrap(p, "deq", None,
+                                            queue.dequeue(p))
+            if value is EMPTY:
+                yield p.think(15)
+            else:
+                consumed.append(value)
+                got += 1
+
+    for pid in range(producers):
+        m.spawn(pid, producer)
+    quotas = [total // 2, total - total // 2]
+    m.spawn(6, consumer, quotas[0])
+    m.spawn(7, consumer, quotas[1])
+    m.run(max_events=30_000_000)
+    assert len(consumed) == total
+    check_queue_history(history)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    variant=st.sampled_from([
+        PrimitiveVariant("fap", SyncPolicy.INV),
+        PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True),
+        PrimitiveVariant("llsc", SyncPolicy.UNC),
+        PrimitiveVariant("cas", SyncPolicy.UPD),
+    ]),
+    sections=st.lists(st.integers(1, 4), min_size=2, max_size=6),
+)
+def test_tts_lock_mutual_exclusion_property(variant, sections):
+    m = machine()
+    lock = TtsLock(m, variant, home=1)
+    history = History(m)
+
+    def program(p, count):
+        for _ in range(count):
+            yield from lock.acquire(p)
+            start = m.now
+            yield p.think(5 + p.rng.randrange(10))
+            history.record(p.pid, "cs", None, None, start, m.now)
+            yield from lock.release(p)
+            yield p.think(p.rng.randrange(30))
+
+    for pid, count in enumerate(sections):
+        m.spawn(pid, program, count)
+    m.run(max_events=30_000_000)
+    check_mutual_exclusion(history)
+    assert len(history) == sum(sections)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    strategy=st.sampled_from(["bitvector", "limited", "linkedlist",
+                              "serial"]),
+    drop_pattern=st.lists(st.booleans(), min_size=4, max_size=4),
+)
+def test_dropcopy_fault_injection_never_loses_updates(strategy, drop_pattern):
+    """Random drop_copy injection must never break counter atomicity."""
+    m = machine(n=4, reservation_strategy=strategy, reservation_limit=2)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+    def program(p, drops):
+        for i in range(4):
+            while True:
+                linked = yield p.ll(addr)
+                ok = yield p.sc(addr, linked.value + 1, linked.token)
+                if ok:
+                    break
+            if drops:
+                yield p.drop_copy(addr)
+            yield p.think(p.rng.randrange(15))
+
+    for pid in range(4):
+        m.spawn(pid, program, drop_pattern[pid])
+    m.run(max_events=20_000_000)
+    assert m.read_word(addr) == 16
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1 << 16))
+def test_tiny_cache_eviction_storm_stays_coherent(seed):
+    """With a 1-line cache every access evicts; values must still be
+    coherent and atomic updates exact."""
+    import random as pyrandom
+    rng = pyrandom.Random(seed)
+    config = SimConfig(machine=MachineConfig(
+        n_nodes=4, cache_sets=1, cache_assoc=1))
+    m = build_machine(config)
+    counters = [m.alloc_sync(SyncPolicy.INV, home=h) for h in range(3)]
+    data = m.alloc_data(8)
+    plan = [[rng.randrange(3) for _ in range(5)] for _ in range(4)]
+
+    def program(p, targets):
+        for t in targets:
+            yield p.fetch_add(counters[t], 1)
+            yield p.load(data + 4 * t)     # churns the single cache line
+            yield p.store(data + 4 * t, p.pid)
+
+    for pid in range(4):
+        m.spawn(pid, program, plan[pid])
+    m.run(max_events=20_000_000)
+    expected = [sum(1 for row in plan for t in row if t == i)
+                for i in range(3)]
+    for i in range(3):
+        assert m.read_word(counters[i]) == expected[i]

@@ -1,0 +1,125 @@
+"""Unit tests for the coroutine process shell."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Process
+
+
+def drive(process_requests):
+    """Interpreter that records requests and lets the test resume."""
+    log = []
+
+    def interpreter(process, request):
+        log.append(request)
+
+    return log, interpreter
+
+
+def test_process_runs_to_first_yield():
+    def gen():
+        yield "req1"
+
+    log, interp = drive(None)
+    proc = Process("t", gen(), interp)
+    proc.start()
+    assert log == ["req1"]
+    assert proc.blocked
+    assert not proc.done
+
+
+def test_resume_delivers_value():
+    seen = {}
+
+    def gen():
+        seen["value"] = yield "req"
+
+    log, interp = drive(None)
+    proc = Process("t", gen(), interp)
+    proc.start()
+    proc.resume(42)
+    assert seen["value"] == 42
+    assert proc.done
+
+
+def test_return_value_captured():
+    def gen():
+        yield "a"
+        return "the-result"
+
+    log, interp = drive(None)
+    proc = Process("t", gen(), interp)
+    proc.start()
+    proc.resume(None)
+    assert proc.done
+    assert proc.result == "the-result"
+
+
+def test_on_exit_called_once():
+    calls = []
+
+    def gen():
+        yield "a"
+
+    log, interp = drive(None)
+    proc = Process("t", gen(), interp, on_exit=calls.append)
+    proc.start()
+    proc.resume(None)
+    assert calls == [proc]
+
+
+def test_resume_after_done_raises():
+    def gen():
+        yield "a"
+
+    log, interp = drive(None)
+    proc = Process("t", gen(), interp)
+    proc.start()
+    proc.resume(None)
+    with pytest.raises(SimulationError):
+        proc.resume(None)
+
+
+def test_resume_while_not_blocked_raises():
+    def interp(process, request):
+        # Resume synchronously: the process becomes not-blocked.
+        process.resume("x")
+
+    def gen():
+        got = yield "a"
+        assert got == "x"
+
+    proc = Process("t", gen(), interp)
+    proc.start()
+    assert proc.done
+    with pytest.raises(SimulationError):
+        proc.resume(None)
+
+
+def test_empty_generator_completes_immediately():
+    def gen():
+        return 7
+        yield  # pragma: no cover
+
+    proc = Process("t", gen(), lambda p, r: None)
+    proc.start()
+    assert proc.done
+    assert proc.result == 7
+
+
+def test_multi_step_sequence():
+    trace = []
+
+    def interp(process, request):
+        trace.append(request)
+        process.resume(request * 2)
+
+    def gen():
+        a = yield 1
+        b = yield a + 1
+        return b
+
+    proc = Process("t", gen(), interp)
+    proc.start()
+    assert trace == [1, 3]
+    assert proc.result == 6

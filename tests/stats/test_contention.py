@@ -1,0 +1,67 @@
+"""Unit tests for the contention tracker."""
+
+from repro.stats.contention import ContentionTracker
+
+
+def test_single_contender():
+    t = ContentionTracker()
+    t.begin(8, 0)
+    t.end(8, 0)
+    assert t.histogram == {1: 1}
+    assert t.percentage(1) == 100.0
+
+
+def test_overlapping_contenders_counted():
+    t = ContentionTracker()
+    t.begin(8, 0)
+    t.begin(8, 1)   # sees 2
+    t.begin(8, 2)   # sees 3
+    t.end(8, 1)
+    t.begin(8, 3)   # sees 3 again
+    assert t.histogram == {1: 1, 2: 1, 3: 2}
+
+
+def test_addresses_independent():
+    t = ContentionTracker()
+    t.begin(8, 0)
+    t.begin(16, 1)
+    assert t.histogram == {1: 2}
+    assert t.per_addr[8] == {1: 1}
+    assert t.per_addr[16] == {1: 1}
+
+
+def test_percentages_sum_to_100():
+    t = ContentionTracker()
+    for pid in range(5):
+        t.begin(8, pid)
+    pct = t.percentages()
+    assert abs(sum(pct.values()) - 100.0) < 1e-9
+
+
+def test_mean_level():
+    t = ContentionTracker()
+    t.begin(8, 0)  # 1
+    t.begin(8, 1)  # 2
+    t.begin(8, 2)  # 3
+    assert t.mean_level() == 2.0
+
+
+def test_end_without_begin_is_harmless():
+    t = ContentionTracker()
+    t.end(8, 0)
+    assert t.samples == 0
+
+
+def test_samples_counts_begins():
+    t = ContentionTracker()
+    for _ in range(3):
+        t.begin(8, 0)
+        t.end(8, 0)
+    assert t.samples == 3
+
+
+def test_empty_tracker():
+    t = ContentionTracker()
+    assert t.percentages() == {}
+    assert t.mean_level() == 0.0
+    assert t.percentage(1) == 0.0

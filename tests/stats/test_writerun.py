@@ -1,0 +1,103 @@
+"""Unit tests for the write-run tracker."""
+
+from repro.stats.writerun import WriteRunTracker
+
+
+def tracked(addr=8):
+    t = WriteRunTracker()
+    t.register(addr)
+    return t
+
+
+def test_unregistered_addresses_ignored():
+    t = WriteRunTracker()
+    t.note_access(8, 0, True)
+    t.finalize()
+    assert t.average() == 0.0
+    assert t.run_count() == 0
+
+
+def test_single_writer_accumulates_run():
+    t = tracked()
+    for _ in range(5):
+        t.note_access(8, 0, True)
+    t.finalize()
+    assert t.average(8) == 5.0
+    assert t.run_count(8) == 1
+
+
+def test_foreign_write_ends_run():
+    t = tracked()
+    t.note_access(8, 0, True)
+    t.note_access(8, 0, True)
+    t.note_access(8, 1, True)
+    t.finalize()
+    # Runs: [2 by cpu0, 1 by cpu1] -> average 1.5.
+    assert t.average(8) == 1.5
+    assert t.run_count(8) == 2
+
+
+def test_foreign_read_ends_run():
+    t = tracked()
+    t.note_access(8, 0, True)
+    t.note_access(8, 0, True)
+    t.note_access(8, 1, False)  # foreign read intervenes
+    t.note_access(8, 0, True)
+    t.finalize()
+    assert t.average(8) == 1.5
+
+
+def test_own_read_does_not_end_run():
+    t = tracked()
+    t.note_access(8, 0, True)
+    t.note_access(8, 0, False)  # own read
+    t.note_access(8, 0, True)
+    t.finalize()
+    assert t.average(8) == 2.0
+    assert t.run_count(8) == 1
+
+
+def test_alternating_writers_give_runs_of_one():
+    t = tracked()
+    for i in range(6):
+        t.note_access(8, i % 2, True)
+    t.finalize()
+    assert t.average(8) == 1.0
+    assert t.run_count(8) == 6
+
+
+def test_reads_only_produce_no_runs():
+    t = tracked()
+    for pid in range(4):
+        t.note_access(8, pid, False)
+    t.finalize()
+    assert t.run_count(8) == 0
+
+
+def test_average_over_all_addresses():
+    t = WriteRunTracker()
+    t.register(8)
+    t.register(16)
+    t.note_access(8, 0, True)
+    t.note_access(8, 0, True)   # run of 2
+    t.note_access(16, 1, True)  # run of 1
+    t.finalize()
+    assert t.average() == 1.5
+
+
+def test_finalize_idempotent():
+    t = tracked()
+    t.note_access(8, 0, True)
+    t.finalize()
+    t.finalize()
+    assert t.run_count(8) == 1
+
+
+def test_lock_style_pattern_gives_runs_of_two():
+    # acquire (write) + release (write) by each processor in turn.
+    t = tracked()
+    for pid in range(4):
+        t.note_access(8, pid, True)
+        t.note_access(8, pid, True)
+    t.finalize()
+    assert t.average(8) == 2.0

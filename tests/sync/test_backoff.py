@@ -1,0 +1,43 @@
+"""Unit tests for bounded exponential backoff."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sync.backoff import Backoff
+
+
+def test_delays_within_growing_bounds():
+    backoff = Backoff(random.Random(0), base=8, cap=64)
+    limits = [8, 16, 32, 64, 64, 64]
+    for limit in limits:
+        assert 0 <= backoff.next_delay() < limit
+
+
+def test_cap_respected_forever():
+    backoff = Backoff(random.Random(1), base=4, cap=16)
+    for _ in range(50):
+        assert backoff.next_delay() < 16
+
+
+def test_reset_restarts_from_base():
+    backoff = Backoff(random.Random(2), base=4, cap=1024)
+    for _ in range(8):
+        backoff.next_delay()
+    backoff.reset()
+    assert backoff.next_delay() < 4
+
+
+def test_deterministic_given_rng():
+    a = Backoff(random.Random(42), base=16, cap=256)
+    b = Backoff(random.Random(42), base=16, cap=256)
+    assert [a.next_delay() for _ in range(10)] == \
+           [b.next_delay() for _ in range(10)]
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ConfigError):
+        Backoff(random.Random(0), base=0, cap=10)
+    with pytest.raises(ConfigError):
+        Backoff(random.Random(0), base=16, cap=8)

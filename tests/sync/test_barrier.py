@@ -1,0 +1,75 @@
+"""Correctness of the scalable (MCS) tree barrier."""
+
+import pytest
+
+from repro.sync.barrier import TreeBarrier
+
+from tests.conftest import make_machine
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 5, 8, 16])
+def test_no_one_passes_early(n):
+    m = make_machine(n)
+    barrier = TreeBarrier(m)
+    flags = m.alloc_data(n)
+    word = m.config.machine.word_size
+
+    def prog(p):
+        for episode in range(3):
+            yield p.store(flags + word * p.pid, episode + 1)
+            yield from barrier.wait(p)
+            for q in range(n):
+                value = yield p.load(flags + word * q)
+                assert value >= episode + 1, (
+                    f"cpu{p.pid} passed barrier {episode} before cpu{q}"
+                )
+
+    m.spawn_all(prog)
+    m.run(max_events=20_000_000)
+
+
+def test_reusable_many_episodes():
+    m = make_machine(4)
+    barrier = TreeBarrier(m)
+    counter = m.alloc_data(1)
+    word = m.config.machine.word_size
+
+    def prog(p):
+        for episode in range(10):
+            if p.pid == 0:
+                value = yield p.load(counter)
+                yield p.store(counter, value + 1)
+            yield from barrier.wait(p)
+
+    m.spawn_all(prog)
+    m.run(max_events=20_000_000)
+    assert m.read_word(counter) == 10
+    del word
+
+
+def test_skewed_arrivals():
+    m = make_machine(8)
+    barrier = TreeBarrier(m)
+    times = {}
+
+    def prog(p):
+        yield p.think(p.pid * 300)
+        yield from barrier.wait(p)
+        times[p.pid] = m.now
+
+    m.spawn_all(prog)
+    m.run(max_events=20_000_000)
+    # Nobody may leave before the slowest arrival.
+    assert min(times.values()) >= 7 * 300
+
+
+def test_barrier_uses_real_memory_traffic():
+    m = make_machine(4)
+    barrier = TreeBarrier(m)
+
+    def prog(p):
+        yield from barrier.wait(p)
+
+    m.spawn_all(prog)
+    m.run(max_events=20_000_000)
+    assert m.mesh.stats.messages > 0

@@ -1,0 +1,75 @@
+"""Lock-free counter fragments under every primitive variant."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.sync.counters import increment, read_counter
+from repro.sync.variant import PrimitiveVariant
+from repro.harness.configs import figure_variants
+
+from tests.conftest import make_machine, run_one
+
+
+@pytest.mark.parametrize("variant", figure_variants(), ids=lambda v: v.label)
+def test_single_increment_returns_old(variant):
+    m = make_machine(4)
+    addr = m.alloc_sync(variant.policy, home=1)
+    m.write_word(addr, 10)
+
+    def prog(p):
+        old = yield from increment(p, addr, variant)
+        return old
+
+    assert run_one(m, 0, prog) == 10
+    assert m.read_word(addr) == 11
+
+
+@pytest.mark.parametrize("variant", figure_variants(), ids=lambda v: v.label)
+def test_concurrent_increments_exact(variant):
+    m = make_machine(8)
+    addr = m.alloc_sync(variant.policy, home=1)
+
+    def prog(p):
+        for _ in range(3):
+            yield from increment(p, addr, variant)
+
+    m.spawn_all(prog)
+    m.run(max_events=10_000_000)
+    assert m.read_word(addr) == 24
+
+
+def test_increment_amount():
+    m = make_machine(4)
+    variant = PrimitiveVariant("fap", SyncPolicy.INV)
+    addr = m.alloc_sync(variant.policy, home=1)
+
+    def prog(p):
+        yield from increment(p, addr, variant, amount=7)
+
+    run_one(m, 0, prog)
+    assert m.read_word(addr) == 7
+
+
+def test_read_counter():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    m.write_word(addr, 9)
+
+    def prog(p):
+        value = yield from read_counter(p, addr)
+        return value
+
+    assert run_one(m, 0, prog) == 9
+
+
+def test_increment_samples_contention():
+    m = make_machine(4)
+    variant = PrimitiveVariant("fap", SyncPolicy.UNC)
+    addr = m.alloc_sync(variant.policy, home=1)
+
+    def prog(p):
+        yield from increment(p, addr, variant)
+
+    m.spawn_all(prog)
+    m.run()
+    assert m.stats.contention.samples == 4

@@ -1,0 +1,140 @@
+"""§2.2 expressive power: simulations and their limits."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.primitives.semantics import PhiOp
+from repro.sync.emulation import (
+    cas_via_llsc,
+    fetch_phi_via_cas,
+    fetch_phi_via_llsc,
+)
+
+from tests.conftest import make_machine, run_one
+
+POLICIES = [SyncPolicy.INV, SyncPolicy.UPD, SyncPolicy.UNC]
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+class TestFetchPhiSimulations:
+    def test_via_cas_matches_native(self, policy):
+        m = make_machine(4)
+        addr = m.alloc_sync(policy, home=1)
+        m.write_word(addr, 7)
+
+        def prog(p):
+            old = yield from fetch_phi_via_cas(p, addr, PhiOp.ADD, 3)
+            return old
+
+        assert run_one(m, 0, prog) == 7
+        assert m.read_word(addr) == 10
+
+    def test_via_llsc_matches_native(self, policy):
+        m = make_machine(4)
+        addr = m.alloc_sync(policy, home=1)
+        m.write_word(addr, 7)
+
+        def prog(p):
+            old = yield from fetch_phi_via_llsc(p, addr, PhiOp.STORE, 42)
+            return old
+
+        assert run_one(m, 0, prog) == 7
+        assert m.read_word(addr) == 42
+
+    def test_concurrent_simulated_adds_are_atomic(self, policy):
+        m = make_machine(8)
+        addr = m.alloc_sync(policy, home=1)
+
+        def prog(p):
+            for _ in range(3):
+                if p.pid % 2:
+                    yield from fetch_phi_via_cas(p, addr, PhiOp.ADD, 1)
+                else:
+                    yield from fetch_phi_via_llsc(p, addr, PhiOp.ADD, 1)
+
+        m.spawn_all(prog)
+        m.run(max_events=10_000_000)
+        assert m.read_word(addr) == 24
+
+
+class TestCasViaLlsc:
+    def test_success_and_failure(self):
+        m = make_machine(4)
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        m.write_word(addr, 5)
+
+        def prog(p):
+            win = yield from cas_via_llsc(p, addr, 5, 6)
+            lose = yield from cas_via_llsc(p, addr, 5, 7)
+            return win, lose
+
+        assert run_one(m, 0, prog) == (True, False)
+        assert m.read_word(addr) == 6
+
+    def test_stronger_than_cas_on_same_value_write(self):
+        # The asymmetry of §2.2: the LL/SC-simulated CAS fails after an
+        # A -> B -> A history, where a hardware CAS would (wrongly for
+        # pointer algorithms) succeed.
+        m = make_machine(4)
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        m.write_word(addr, 7)
+        outcome = {}
+
+        def victim(p):
+            linked = yield p.ll(addr)
+            yield p.barrier(0, 2)
+            yield p.barrier(1, 2)
+            ok = yield p.sc(addr, 99, linked.token)
+            outcome["simulated"] = bool(ok)
+            # Contrast: hardware CAS can't see the intervening writes.
+            result = yield p.cas(addr, linked.value, 99)
+            outcome["hardware"] = bool(result)
+
+        def interferer(p):
+            yield p.barrier(0, 2)
+            yield p.store(addr, 8)
+            yield p.store(addr, 7)   # back to the original value
+            yield p.barrier(1, 2)
+
+        m.spawn(0, victim)
+        m.spawn(2, interferer)
+        m.run(max_events=5_000_000)
+        assert outcome["simulated"] is False   # LL/SC catches ABA
+        assert outcome["hardware"] is True     # CAS cannot
+
+    def test_concurrent_simulated_cas_one_winner(self):
+        m = make_machine(8)
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        wins = []
+
+        def prog(p):
+            ok = yield from cas_via_llsc(p, addr, 0, p.pid + 1)
+            if ok:
+                wins.append(p.pid)
+
+        m.spawn_all(prog)
+        m.run(max_events=10_000_000)
+        assert len(wins) == 1
+        assert m.read_word(addr) == wins[0] + 1
+
+
+class TestSimulationCost:
+    def test_simulated_fetch_add_costs_more_than_native(self):
+        # §2.2: "a successful simulated compare_and_swap is likely to
+        # cause two cache misses instead of the one" — same logic for
+        # fetch_and_add; measure messages for a cold access.
+        def messages_for(simulated):
+            m = make_machine(4)
+            addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+            def prog(p):
+                before = m.mesh.stats.messages
+                if simulated:
+                    yield from fetch_phi_via_llsc(p, addr, PhiOp.ADD, 1)
+                else:
+                    yield p.fetch_add(addr, 1)
+                return m.mesh.stats.messages - before
+
+            return run_one(m, 0, prog)
+
+        assert messages_for(simulated=True) > messages_for(simulated=False)

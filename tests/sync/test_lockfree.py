@@ -1,0 +1,192 @@
+"""Lock-free stack and queue: safety under concurrency."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.errors import ConfigError, ProgramError
+from repro.sync.lockfree import EMPTY, LockFreeQueue, TreiberStack
+from repro.sync.variant import PrimitiveVariant
+
+from tests.conftest import make_machine, run_one
+
+FAMILIES = ["cas", "llsc"]
+
+
+def variant(family):
+    return PrimitiveVariant(family, SyncPolicy.INV)
+
+
+class TestTreiberStack:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_lifo_order_single_thread(self, family):
+        m = make_machine(4)
+        stack = TreiberStack(m, variant(family))
+
+        def prog(p):
+            for value in (10, 20, 30):
+                yield from stack.push(p, value)
+            out = []
+            for _ in range(3):
+                value = yield from stack.pop(p)
+                out.append(value)
+            return out
+
+        assert run_one(m, 0, prog) == [30, 20, 10]
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_pop_empty(self, family):
+        m = make_machine(4)
+        stack = TreiberStack(m, variant(family))
+
+        def prog(p):
+            value = yield from stack.pop(p)
+            return value
+
+        assert run_one(m, 0, prog) is EMPTY
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_concurrent_push_pop_no_loss_no_dup(self, family):
+        m = make_machine(8)
+        stack = TreiberStack(m, variant(family))
+        popped = []
+
+        def pusher(p):
+            for i in range(5):
+                yield from stack.push(p, p.pid * 100 + i)
+
+        def popper(p):
+            got = 0
+            while got < 5:
+                value = yield from stack.pop(p)
+                if value is EMPTY:
+                    yield p.think(30)
+                else:
+                    popped.append(value)
+                    got += 1
+
+        for pid in range(4):
+            m.spawn(pid, pusher)
+        for pid in range(4, 8):
+            m.spawn(pid, popper)
+        m.run(max_events=30_000_000)
+        expected = sorted(pid * 100 + i for pid in range(4) for i in range(5))
+        assert sorted(popped) == expected
+
+    def test_arena_exhaustion_detected(self):
+        m = make_machine(4)
+        stack = TreiberStack(m, variant("cas"), capacity=2)
+
+        def prog(p):
+            for value in range(3):
+                yield from stack.push(p, value)
+
+        m.spawn(0, prog)
+        with pytest.raises(ProgramError):
+            m.run()
+
+    def test_fap_family_rejected(self):
+        m = make_machine(4)
+        with pytest.raises(ConfigError):
+            TreiberStack(m, PrimitiveVariant("fap", SyncPolicy.INV))
+
+
+class TestLockFreeQueue:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_fifo_order_single_thread(self, family):
+        m = make_machine(4)
+        queue = LockFreeQueue(m, variant(family))
+
+        def prog(p):
+            for value in (1, 2, 3):
+                yield from queue.enqueue(p, value)
+            out = []
+            for _ in range(3):
+                value = yield from queue.dequeue(p)
+                out.append(value)
+            return out
+
+        assert run_one(m, 0, prog) == [1, 2, 3]
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_dequeue_empty(self, family):
+        m = make_machine(4)
+        queue = LockFreeQueue(m, variant(family))
+
+        def prog(p):
+            value = yield from queue.dequeue(p)
+            return value
+
+        assert run_one(m, 0, prog) is EMPTY
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_concurrent_no_loss_no_dup(self, family):
+        m = make_machine(8)
+        queue = LockFreeQueue(m, variant(family))
+        consumed = []
+
+        def producer(p):
+            for i in range(5):
+                yield from queue.enqueue(p, p.pid * 100 + i)
+
+        def consumer(p):
+            got = 0
+            while got < 5:
+                value = yield from queue.dequeue(p)
+                if value is EMPTY:
+                    yield p.think(30)
+                else:
+                    consumed.append(value)
+                    got += 1
+
+        for pid in range(4):
+            m.spawn(pid, producer)
+        for pid in range(4, 8):
+            m.spawn(pid, consumer)
+        m.run(max_events=50_000_000)
+        expected = sorted(pid * 100 + i for pid in range(4) for i in range(5))
+        assert sorted(consumed) == expected
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_per_producer_fifo_preserved(self, family):
+        # Linearizability implies each producer's items are consumed in
+        # the order that producer enqueued them.
+        m = make_machine(4)
+        queue = LockFreeQueue(m, variant(family))
+        consumed = []
+
+        def producer(p):
+            for i in range(6):
+                yield from queue.enqueue(p, p.pid * 100 + i)
+                yield p.think(p.rng.randrange(40))
+
+        def consumer(p):
+            got = 0
+            while got < 12:
+                value = yield from queue.dequeue(p)
+                if value is EMPTY:
+                    yield p.think(25)
+                else:
+                    consumed.append(value)
+                    got += 1
+
+        m.spawn(0, producer)
+        m.spawn(1, producer)
+        m.spawn(2, consumer)
+        m.run(max_events=50_000_000)
+        for producer_pid in (0, 1):
+            seq = [v % 100 for v in consumed if v // 100 == producer_pid]
+            assert seq == sorted(seq)
+
+    def test_empty_then_refill(self):
+        m = make_machine(4)
+        queue = LockFreeQueue(m, variant("cas"))
+
+        def prog(p):
+            yield from queue.enqueue(p, 5)
+            first = yield from queue.dequeue(p)
+            empty = yield from queue.dequeue(p)
+            yield from queue.enqueue(p, 6)
+            second = yield from queue.dequeue(p)
+            return first, empty is EMPTY, second
+
+        assert run_one(m, 0, prog) == (5, True, 6)

@@ -1,0 +1,131 @@
+"""Mutual exclusion and queue behaviour of the MCS lock."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.sync.mcs_lock import McsLock
+from repro.sync.variant import PrimitiveVariant
+
+from tests.conftest import make_machine, run_one
+
+MCS_VARIANTS = [
+    PrimitiveVariant("cas", SyncPolicy.INV),
+    PrimitiveVariant("cas", SyncPolicy.INVD),
+    PrimitiveVariant("cas", SyncPolicy.INVS),
+    PrimitiveVariant("cas", SyncPolicy.UPD),
+    PrimitiveVariant("cas", SyncPolicy.UNC),
+    PrimitiveVariant("llsc", SyncPolicy.INV),
+    PrimitiveVariant("llsc", SyncPolicy.UPD),
+    PrimitiveVariant("llsc", SyncPolicy.UNC),
+    PrimitiveVariant("fap", SyncPolicy.INV),   # no-CAS release variant
+    PrimitiveVariant("fap", SyncPolicy.UPD),
+    PrimitiveVariant("fap", SyncPolicy.UNC),
+]
+
+
+def counter_prog(lock, counter, iters):
+    def prog(p):
+        for _ in range(iters):
+            yield from lock.acquire(p)
+            value = yield p.load(counter)
+            yield p.think(2)
+            yield p.store(counter, value + 1)
+            yield from lock.release(p)
+
+    return prog
+
+
+@pytest.mark.parametrize("variant", MCS_VARIANTS, ids=lambda v: v.label)
+def test_mutual_exclusion_counter_exact(variant):
+    m = make_machine(8)
+    lock = McsLock(m, variant, home=1)
+    counter = m.alloc_data(1)
+    m.spawn_all(counter_prog(lock, counter, 3))
+    m.run(max_events=20_000_000)
+    assert m.read_word(counter) == 24
+
+
+@pytest.mark.parametrize("variant", MCS_VARIANTS[:2] + MCS_VARIANTS[8:9],
+                         ids=lambda v: v.label)
+def test_no_overlap(variant):
+    m = make_machine(4)
+    lock = McsLock(m, variant, home=1)
+    intervals = []
+
+    def prog(p):
+        for _ in range(2):
+            yield from lock.acquire(p)
+            start = m.now
+            yield p.think(15)
+            intervals.append((start, m.now))
+            yield from lock.release(p)
+
+    m.spawn_all(prog)
+    m.run(max_events=20_000_000)
+    intervals.sort()
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2
+
+
+def test_tail_nil_after_all_release():
+    m = make_machine(4)
+    lock = McsLock(m, PrimitiveVariant("cas", SyncPolicy.INV), home=1)
+    counter = m.alloc_data(1)
+    m.spawn_all(counter_prog(lock, counter, 2))
+    m.run(max_events=20_000_000)
+    assert m.read_word(lock.addr) == 0
+
+
+def test_fifo_order_under_contention():
+    # Processors that enqueue strictly one after another acquire in
+    # exactly that order: the MCS queue is FIFO.
+    m = make_machine(4)
+    lock = McsLock(m, PrimitiveVariant("cas", SyncPolicy.INV), home=1)
+    order = []
+
+    def prog(p):
+        # Stagger arrivals far enough apart that enqueue order is certain.
+        yield p.think(p.pid * 500)
+        yield from lock.acquire(p)
+        order.append(p.pid)
+        yield p.think(2000)   # hold long enough that all others queue up
+        yield from lock.release(p)
+
+    m.spawn_all(prog)
+    m.run(max_events=20_000_000)
+    assert order == [0, 1, 2, 3]
+
+
+def test_uncontended_handoff_is_queue_free():
+    m = make_machine(4)
+    lock = McsLock(m, PrimitiveVariant("cas", SyncPolicy.INV), home=1)
+
+    def prog(p):
+        yield from lock.acquire(p)
+        yield from lock.release(p)
+        yield from lock.acquire(p)
+        yield from lock.release(p)
+
+    run_one(m, 0, prog)
+    assert m.read_word(lock.addr) == 0
+
+
+def test_no_cas_release_with_usurpers():
+    # Exercise the fetch_and_store-only release's usurper path: the holder
+    # releases exactly while others are enqueueing.
+    m = make_machine(8)
+    lock = McsLock(m, PrimitiveVariant("fap", SyncPolicy.INV), home=1)
+    counter = m.alloc_data(1)
+
+    def prog(p):
+        for _ in range(4):
+            yield from lock.acquire(p)
+            value = yield p.load(counter)
+            yield p.store(counter, value + 1)
+            yield from lock.release(p)
+            yield p.think(p.rng.randrange(40))
+
+    m.spawn_all(prog)
+    m.run(max_events=30_000_000)
+    assert m.read_word(counter) == 32
+    assert m.read_word(lock.addr) == 0

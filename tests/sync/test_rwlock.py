@@ -1,0 +1,141 @@
+"""Reader-writer lock: exclusion, reader concurrency, all families."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.sync.rwlock import ReaderWriterLock
+from repro.sync.variant import PrimitiveVariant
+
+from tests.conftest import make_machine, run_one
+
+RW_VARIANTS = [
+    PrimitiveVariant("cas", SyncPolicy.INV),
+    PrimitiveVariant("cas", SyncPolicy.UPD),
+    PrimitiveVariant("cas", SyncPolicy.UNC),
+    PrimitiveVariant("llsc", SyncPolicy.INV),
+    PrimitiveVariant("llsc", SyncPolicy.UNC),
+    PrimitiveVariant("fap", SyncPolicy.INV),
+    PrimitiveVariant("fap", SyncPolicy.UNC),
+]
+
+
+@pytest.mark.parametrize("variant", RW_VARIANTS, ids=lambda v: v.label)
+def test_writers_are_mutually_exclusive(variant):
+    m = make_machine(8)
+    lock = ReaderWriterLock(m, variant, home=1)
+    shared = m.alloc_data(1)
+
+    def writer(p):
+        for _ in range(3):
+            yield from lock.acquire_write(p)
+            value = yield p.load(shared)
+            yield p.think(5)
+            yield p.store(shared, value + 1)
+            yield from lock.release_write(p)
+
+    m.spawn_all(writer)
+    m.run(max_events=20_000_000)
+    assert m.read_word(shared) == 24
+    assert m.read_word(lock.addr) == 0
+
+
+@pytest.mark.parametrize("variant", RW_VARIANTS, ids=lambda v: v.label)
+def test_writer_excludes_readers(variant):
+    m = make_machine(8)
+    lock = ReaderWriterLock(m, variant, home=1)
+    shared = m.alloc_data(2)
+    word = m.config.machine.word_size
+    violations = []
+
+    def writer(p):
+        for _ in range(3):
+            yield from lock.acquire_write(p)
+            yield p.store(shared, 1)          # inconsistent window opens
+            yield p.think(10)
+            yield p.store(shared + word, 1)
+            yield p.think(5)
+            yield p.store(shared, 0)
+            yield p.store(shared + word, 0)
+            yield from lock.release_write(p)
+
+    def reader(p):
+        for _ in range(3):
+            yield from lock.acquire_read(p)
+            a = yield p.load(shared)
+            yield p.think(3)
+            b = yield p.load(shared + word)
+            if a != b:
+                violations.append((p.pid, a, b))
+            yield from lock.release_read(p)
+
+    m.spawn(0, writer)
+    m.spawn(1, writer)
+    for pid in range(2, 8):
+        m.spawn(pid, reader)
+    m.run(max_events=30_000_000)
+    assert violations == []
+
+
+def test_readers_can_overlap():
+    m = make_machine(8)
+    variant = PrimitiveVariant("cas", SyncPolicy.INV)
+    lock = ReaderWriterLock(m, variant, home=1)
+    concurrency = {"now": 0, "max": 0}
+
+    def reader(p):
+        yield from lock.acquire_read(p)
+        concurrency["now"] += 1
+        concurrency["max"] = max(concurrency["max"], concurrency["now"])
+        yield p.think(500)
+        concurrency["now"] -= 1
+        yield from lock.release_read(p)
+
+    m.spawn_all(reader)
+    m.run(max_events=20_000_000)
+    assert concurrency["max"] > 1  # readers genuinely overlapped
+
+
+def test_uncontended_read_and_write():
+    m = make_machine(4)
+    variant = PrimitiveVariant("llsc", SyncPolicy.INV)
+    lock = ReaderWriterLock(m, variant, home=1)
+
+    def prog(p):
+        yield from lock.acquire_read(p)
+        yield from lock.release_read(p)
+        yield from lock.acquire_write(p)
+        yield from lock.release_write(p)
+        value = yield p.load(lock.addr)
+        return value
+
+    assert run_one(m, 0, prog) == 0
+
+
+def test_fap_reader_backs_out_on_writer():
+    # With fetch_and_phi only, a reader that races a writer must retract
+    # its optimistic announcement; the status word must still drain to 0.
+    m = make_machine(8)
+    variant = PrimitiveVariant("fap", SyncPolicy.INV)
+    lock = ReaderWriterLock(m, variant, home=1)
+    shared = m.alloc_data(1)
+
+    def writer(p):
+        for _ in range(4):
+            yield from lock.acquire_write(p)
+            value = yield p.load(shared)
+            yield p.store(shared, value + 1)
+            yield from lock.release_write(p)
+
+    def reader(p):
+        for _ in range(4):
+            yield from lock.acquire_read(p)
+            yield p.load(shared)
+            yield from lock.release_read(p)
+
+    for pid in range(4):
+        m.spawn(pid, writer)
+    for pid in range(4, 8):
+        m.spawn(pid, reader)
+    m.run(max_events=30_000_000)
+    assert m.read_word(shared) == 16
+    assert m.read_word(lock.addr) == 0

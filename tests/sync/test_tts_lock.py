@@ -1,0 +1,122 @@
+"""Mutual exclusion and behaviour of the TTS lock, all variants."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.sync.tts_lock import TtsLock
+from repro.sync.variant import PrimitiveVariant
+
+from tests.conftest import make_machine, run_one
+
+LOCK_VARIANTS = [
+    PrimitiveVariant("fap", SyncPolicy.INV),
+    PrimitiveVariant("fap", SyncPolicy.UPD),
+    PrimitiveVariant("fap", SyncPolicy.UNC),
+    PrimitiveVariant("cas", SyncPolicy.INV),
+    PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True),
+    PrimitiveVariant("cas", SyncPolicy.INVD),
+    PrimitiveVariant("cas", SyncPolicy.INVS),
+    PrimitiveVariant("cas", SyncPolicy.UPD),
+    PrimitiveVariant("cas", SyncPolicy.UNC),
+    PrimitiveVariant("llsc", SyncPolicy.INV),
+    PrimitiveVariant("llsc", SyncPolicy.UPD),
+    PrimitiveVariant("llsc", SyncPolicy.UNC),
+    PrimitiveVariant("fap", SyncPolicy.INV, use_drop=True),
+]
+
+
+def critical_counter_prog(lock, counter, iters):
+    def prog(p):
+        for _ in range(iters):
+            yield from lock.acquire(p)
+            value = yield p.load(counter)
+            yield p.think(3)
+            yield p.store(counter, value + 1)
+            yield from lock.release(p)
+
+    return prog
+
+
+@pytest.mark.parametrize("variant", LOCK_VARIANTS, ids=lambda v: v.label)
+def test_mutual_exclusion_counter_exact(variant):
+    m = make_machine(8)
+    lock = TtsLock(m, variant, home=1)
+    counter = m.alloc_data(1)
+    m.spawn_all(critical_counter_prog(lock, counter, 3))
+    m.run(max_events=20_000_000)
+    assert m.read_word(counter) == 24
+
+
+@pytest.mark.parametrize("variant", LOCK_VARIANTS[:3], ids=lambda v: v.label)
+def test_no_overlap_in_critical_sections(variant):
+    m = make_machine(4)
+    lock = TtsLock(m, variant, home=1)
+    intervals = []
+
+    def prog(p):
+        for _ in range(2):
+            yield from lock.acquire(p)
+            start = m.now
+            yield p.think(20)
+            intervals.append((start, m.now, p.pid))
+            yield from lock.release(p)
+
+    m.spawn_all(prog)
+    m.run(max_events=10_000_000)
+    intervals.sort()
+    for (s1, e1, p1), (s2, e2, p2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2, f"critical sections overlap: {p1} and {p2}"
+
+
+def test_lock_state_free_after_all_releases():
+    m = make_machine(4)
+    variant = PrimitiveVariant("fap", SyncPolicy.INV)
+    lock = TtsLock(m, variant, home=1)
+    counter = m.alloc_data(1)
+    m.spawn_all(critical_counter_prog(lock, counter, 2))
+    m.run(max_events=10_000_000)
+    assert m.read_word(lock.addr) == 0
+
+
+def test_uncontended_acquire_is_cheap():
+    m = make_machine(4)
+    variant = PrimitiveVariant("fap", SyncPolicy.INV)
+    lock = TtsLock(m, variant, home=1)
+
+    def prog(p):
+        yield from lock.acquire(p)
+        yield from lock.release(p)
+        # Second acquire: the lock line is already exclusive here.
+        before = m.mesh.stats.messages
+        yield from lock.acquire(p)
+        yield from lock.release(p)
+        return m.mesh.stats.messages - before
+
+    assert run_one(m, 0, prog) == 0
+
+
+def test_contention_is_recorded():
+    m = make_machine(4)
+    variant = PrimitiveVariant("fap", SyncPolicy.INV)
+    lock = TtsLock(m, variant, home=1)
+    counter = m.alloc_data(1)
+    m.spawn_all(critical_counter_prog(lock, counter, 1))
+    m.run(max_events=10_000_000)
+    assert m.stats.contention.samples == 4
+
+
+def test_write_run_tracked_on_lock_variable():
+    m = make_machine(4)
+    variant = PrimitiveVariant("fap", SyncPolicy.INV)
+    lock = TtsLock(m, variant, home=1)
+    counter = m.alloc_data(1)
+    run_one(m, 0, lambda p: (yield from _one_cycle(p, lock, counter)))
+    m.run()
+    # Uncontended acquire+release by one processor: a write run of 2.
+    assert m.stats.writerun.average(lock.addr) == 2.0
+
+
+def _one_cycle(p, lock, counter):
+    yield from lock.acquire(p)
+    yield p.store(counter, 1)
+    yield from lock.release(p)

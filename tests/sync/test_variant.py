@@ -1,0 +1,59 @@
+"""Unit tests for primitive-variant descriptors."""
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.errors import ConfigError
+from repro.sync.variant import PrimitiveVariant
+
+
+def test_valid_combinations():
+    PrimitiveVariant("fap", SyncPolicy.UNC)
+    PrimitiveVariant("llsc", SyncPolicy.UPD, use_drop=True)
+    PrimitiveVariant("cas", SyncPolicy.INVD)
+    PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True, use_drop=True)
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ConfigError):
+        PrimitiveVariant("tas", SyncPolicy.INV)
+
+
+def test_lx_requires_cas():
+    with pytest.raises(ConfigError):
+        PrimitiveVariant("fap", SyncPolicy.INV, use_lx=True)
+
+
+def test_lx_requires_plain_inv():
+    with pytest.raises(ConfigError):
+        PrimitiveVariant("cas", SyncPolicy.UPD, use_lx=True)
+    with pytest.raises(ConfigError):
+        PrimitiveVariant("cas", SyncPolicy.INVD, use_lx=True)
+
+
+def test_invd_invs_require_cas():
+    with pytest.raises(ConfigError):
+        PrimitiveVariant("fap", SyncPolicy.INVD)
+    with pytest.raises(ConfigError):
+        PrimitiveVariant("llsc", SyncPolicy.INVS)
+
+
+def test_drop_meaningless_for_unc():
+    with pytest.raises(ConfigError):
+        PrimitiveVariant("fap", SyncPolicy.UNC, use_drop=True)
+
+
+def test_labels():
+    assert PrimitiveVariant("fap", SyncPolicy.UNC).label == "FAP/UNC"
+    assert PrimitiveVariant("cas", SyncPolicy.INVD).label == "CAS/INVd"
+    assert (PrimitiveVariant("cas", SyncPolicy.INV, use_lx=True,
+                             use_drop=True).label == "CAS+lx/INV+dc")
+    assert (PrimitiveVariant("llsc", SyncPolicy.UPD,
+                             use_drop=True).label == "LLSC/UPD+dc")
+
+
+def test_variants_hashable_and_frozen():
+    a = PrimitiveVariant("cas", SyncPolicy.INV)
+    b = PrimitiveVariant("cas", SyncPolicy.INV)
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b}) == 1

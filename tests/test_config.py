@@ -1,0 +1,101 @@
+"""Configuration validation and derived quantities."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    MachineConfig,
+    SimConfig,
+    TimingConfig,
+    small_config,
+)
+from repro.errors import ConfigError
+
+
+class TestTimingConfig:
+    def test_defaults_valid(self):
+        TimingConfig().validate()
+
+    @pytest.mark.parametrize("field", [
+        "cache_hit", "controller_occupancy", "memory_service",
+        "hop_cycles", "flit_cycles", "header_flits", "local_access",
+        "directory_service",
+    ])
+    def test_nonpositive_rejected(self, field):
+        timing = TimingConfig(**{field: 0})
+        with pytest.raises(ConfigError, match=field):
+            timing.validate()
+
+
+class TestMachineConfig:
+    def test_defaults_are_the_papers_machine(self):
+        machine = MachineConfig()
+        assert machine.n_nodes == 64
+        assert machine.block_size == 32
+        assert machine.words_per_block == 8
+        assert machine.block_bits == 5
+        assert machine.mesh_width == 8
+        assert machine.mesh_height == 8
+
+    def test_data_flits(self):
+        machine = MachineConfig()
+        # 32-byte block in 8-byte flits plus one header flit.
+        assert machine.data_flits(TimingConfig()) == 5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_nodes": 0},
+        {"block_size": 0},
+        {"block_size": 24},       # not a power of two
+        {"word_size": 3},
+        {"word_size": 64},        # larger than the block
+        {"cache_sets": 0},
+        {"cache_assoc": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            MachineConfig(**kwargs).validate()
+
+    def test_non_square_mesh_dimensions(self):
+        machine = MachineConfig(n_nodes=6)
+        assert machine.mesh_width * machine.mesh_height >= 6
+
+
+class TestSimConfig:
+    def test_default_valid(self):
+        DEFAULT_CONFIG.validate()
+
+    def test_with_nodes_copies(self):
+        small = DEFAULT_CONFIG.with_nodes(8)
+        assert small.machine.n_nodes == 8
+        assert DEFAULT_CONFIG.machine.n_nodes == 64
+        assert small.timing == DEFAULT_CONFIG.timing
+
+    @pytest.mark.parametrize("strategy",
+                             ["bitvector", "limited", "serial", "linkedlist"])
+    def test_all_strategies_accepted(self, strategy):
+        SimConfig(reservation_strategy=strategy).validate()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(reservation_strategy="psychic").validate()
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(reservation_limit=0).validate()
+
+    def test_small_config(self):
+        config = small_config(n_nodes=3, seed=9)
+        config.validate()
+        assert config.machine.n_nodes == 3
+        assert config.seed == 9
+
+    def test_configs_are_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.seed = 1  # type: ignore[misc]
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

@@ -1,0 +1,245 @@
+"""Unit tests for the history checkers (including detection power)."""
+
+import pytest
+
+from repro.sync.lockfree import EMPTY
+from repro.verify.checkers import (
+    CheckFailure,
+    check_counter_history,
+    check_mutual_exclusion,
+    check_queue_history,
+    check_stack_history,
+)
+from repro.verify.history import History
+
+
+class FakeMachine:
+    now = 0
+
+
+def history(records):
+    h = History(FakeMachine())
+    for pid, op, arg, result, start, end in records:
+        h.record(pid, op, arg, result, start, end)
+    return h
+
+
+class TestCounterChecker:
+    def test_valid_chain_passes(self):
+        h = history([
+            (0, "inc", 1, 0, 0, 5),
+            (1, "inc", 1, 1, 2, 8),
+            (0, "inc", 1, 2, 9, 12),
+        ])
+        check_counter_history(h)
+
+    def test_lost_update_detected(self):
+        # Two increments observed the same pre-value: one was lost.
+        h = history([
+            (0, "inc", 1, 0, 0, 5),
+            (1, "inc", 1, 0, 1, 6),
+        ])
+        with pytest.raises(CheckFailure, match="duplicate"):
+            check_counter_history(h)
+
+    def test_gap_detected(self):
+        h = history([
+            (0, "inc", 1, 0, 0, 5),
+            (1, "inc", 1, 2, 6, 9),  # nobody saw pre-value 1
+        ])
+        with pytest.raises(CheckFailure):
+            check_counter_history(h)
+
+    def test_arbitrary_amounts(self):
+        h = history([
+            (0, "inc", 5, 0, 0, 3),
+            (1, "inc", 2, 5, 4, 7),
+            (0, "inc", 3, 7, 8, 11),
+        ])
+        check_counter_history(h)
+
+    def test_initial_value_respected(self):
+        h = history([(0, "inc", 1, 10, 0, 1)])
+        check_counter_history(h, initial=10)
+        with pytest.raises(CheckFailure):
+            check_counter_history(h, initial=0)
+
+    def test_empty_history_ok(self):
+        check_counter_history(history([]))
+
+
+class TestStackChecker:
+    def test_sequential_lifo_passes(self):
+        h = history([
+            (0, "push", 1, None, 0, 1),
+            (0, "push", 2, None, 2, 3),
+            (0, "pop", None, 2, 4, 5),
+            (0, "pop", None, 1, 6, 7),
+        ])
+        check_stack_history(h)
+
+    def test_sequential_lifo_violation_detected(self):
+        h = history([
+            (0, "push", 1, None, 0, 1),
+            (0, "push", 2, None, 2, 3),
+            (0, "pop", None, 1, 4, 5),  # should have been 2
+            (0, "pop", None, 2, 6, 7),
+        ])
+        with pytest.raises(CheckFailure, match="LIFO"):
+            check_stack_history(h)
+
+    def test_invented_element_detected(self):
+        h = history([
+            (0, "push", 1, None, 0, 1),
+            (0, "pop", None, 99, 2, 3),
+        ])
+        with pytest.raises(CheckFailure, match="conservation"):
+            check_stack_history(h)
+
+    def test_lost_element_detected(self):
+        h = history([
+            (0, "push", 1, None, 0, 1),
+            (0, "push", 2, None, 2, 3),
+            (0, "pop", None, 2, 4, 5),
+        ])
+        with pytest.raises(CheckFailure, match="conservation"):
+            check_stack_history(h)
+
+    def test_leftovers_accepted(self):
+        h = history([
+            (0, "push", 1, None, 0, 1),
+            (0, "push", 2, None, 2, 3),
+            (0, "pop", None, 2, 4, 5),
+        ])
+        check_stack_history(h, leftovers=[1])
+
+    def test_false_empty_detected(self):
+        h = history([
+            (0, "push", 1, None, 0, 1),
+            (0, "pop", None, EMPTY, 2, 3),
+            (0, "pop", None, 1, 4, 5),
+        ])
+        with pytest.raises(CheckFailure, match="EMPTY"):
+            check_stack_history(h)
+
+    def test_concurrent_history_skips_replay(self):
+        # Overlapping pops may legally return in either order.
+        h = history([
+            (0, "push", 1, None, 0, 1),
+            (0, "push", 2, None, 2, 3),
+            (1, "pop", None, 1, 4, 9),
+            (2, "pop", None, 2, 5, 8),
+        ])
+        check_stack_history(h)
+
+
+class TestQueueChecker:
+    def test_sequential_fifo_passes(self):
+        h = history([
+            (0, "enq", 1, None, 0, 1),
+            (0, "enq", 2, None, 2, 3),
+            (0, "deq", None, 1, 4, 5),
+            (0, "deq", None, 2, 6, 7),
+        ])
+        check_queue_history(h)
+
+    def test_sequential_fifo_violation(self):
+        h = history([
+            (0, "enq", 1, None, 0, 1),
+            (0, "enq", 2, None, 2, 3),
+            (0, "deq", None, 2, 4, 5),
+            (0, "deq", None, 1, 6, 7),
+        ])
+        # The per-producer condition catches it before the exact replay.
+        with pytest.raises(CheckFailure, match="out of order|FIFO"):
+            check_queue_history(h)
+
+    def test_per_producer_order_in_concurrent_history(self):
+        # Producer 0's items consumed out of order: always a bug.
+        h = history([
+            (0, "enq", 1, None, 0, 5),
+            (0, "enq", 2, None, 6, 11),
+            (1, "deq", None, 2, 7, 13),   # overlaps: concurrent history
+            (1, "deq", None, 1, 14, 15),
+        ])
+        with pytest.raises(CheckFailure, match="out of order"):
+            check_queue_history(h)
+
+    def test_conservation(self):
+        h = history([
+            (0, "enq", 1, None, 0, 1),
+            (1, "deq", None, 1, 2, 3),
+            (1, "deq", None, 1, 4, 5),  # duplicated element
+        ])
+        with pytest.raises(CheckFailure, match="conservation"):
+            check_queue_history(h)
+
+
+class TestMutualExclusion:
+    def test_disjoint_sections_pass(self):
+        h = history([
+            (0, "cs", None, None, 0, 10),
+            (1, "cs", None, None, 10, 20),
+            (0, "cs", None, None, 25, 30),
+        ])
+        check_mutual_exclusion(h)
+
+    def test_overlap_detected(self):
+        h = history([
+            (0, "cs", None, None, 0, 10),
+            (1, "cs", None, None, 5, 15),
+        ])
+        with pytest.raises(CheckFailure, match="overlap"):
+            check_mutual_exclusion(h)
+
+
+class TestEndToEnd:
+    def test_real_stack_history_checks(self):
+        from repro import SyncPolicy
+        from repro.sync import PrimitiveVariant, TreiberStack
+        from repro.verify.history import History as RealHistory
+        from tests.conftest import make_machine
+
+        m = make_machine(8)
+        stack = TreiberStack(m, PrimitiveVariant("cas", SyncPolicy.INV))
+        h = RealHistory(m)
+
+        def pusher(p):
+            for i in range(4):
+                yield from h.wrap(p, "push", p.pid * 10 + i,
+                                  stack.push(p, p.pid * 10 + i))
+
+        def popper(p):
+            got = 0
+            while got < 4:
+                value = yield from h.wrap(p, "pop", None, stack.pop(p))
+                if value is not EMPTY:
+                    got += 1
+                else:
+                    yield p.think(20)
+
+        for pid in range(4):
+            m.spawn(pid, pusher)
+        for pid in range(4, 8):
+            m.spawn(pid, popper)
+        m.run(max_events=30_000_000)
+        check_stack_history(h)
+
+    def test_real_counter_history_checks(self):
+        from repro import SyncPolicy
+        from repro.sync import PrimitiveVariant, increment
+        from repro.verify.history import History as RealHistory
+        from tests.conftest import make_machine
+
+        m = make_machine(8)
+        addr = m.alloc_sync(SyncPolicy.UNC, home=1)
+        variant = PrimitiveVariant("fap", SyncPolicy.UNC)
+        h = RealHistory(m)
+
+        def prog(p):
+            for _ in range(5):
+                yield from h.wrap(p, "inc", 1, increment(p, addr, variant))
+
+        m.spawn_all(prog)
+        m.run(max_events=10_000_000)
+        check_counter_history(h)
