@@ -15,7 +15,7 @@ the paper's qualitative findings:
 from repro.harness.ablation import run_dropcopy_ablation
 from repro.harness.report import render_table
 
-from .conftest import BENCH_NODES, BENCH_TURNS, publish
+from .conftest import BENCH_NODES, BENCH_TURNS, publish, publish_json
 
 
 def test_dropcopy_ablation(benchmark, bench_config):
@@ -32,6 +32,15 @@ def test_dropcopy_ablation(benchmark, bench_config):
     publish("ablation_dropcopy", render_table(
         ["panel"] + outcome.variants, rows,
         title="Ablation: drop_copy effect on the lock-free counter"))
+    publish_json("ablation_dropcopy", {
+        "panels": outcome.panels,
+        "variants": outcome.variants,
+        "cycles_per_update": {
+            panel: {variant: table[(panel, variant)]
+                    for variant in outcome.variants}
+            for panel in outcome.panels
+        },
+    })
 
     contended = outcome.panels[2]
     # drop_copy helps INV at write-run 1 with no contention...

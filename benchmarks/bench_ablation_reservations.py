@@ -13,7 +13,7 @@ from repro.harness.ablation import (
 )
 from repro.harness.report import render_table
 
-from .conftest import BENCH_NODES, BENCH_TURNS, publish
+from .conftest import BENCH_NODES, BENCH_TURNS, publish, publish_json
 
 
 def test_reservation_strategies(benchmark, bench_config):
@@ -35,6 +35,13 @@ def test_reservation_strategies(benchmark, bench_config):
         title=(f"Ablation §3.1: LL/SC reservation strategies "
                f"(UNC, c={contention})"),
     ))
+    publish_json("ablation_reservations", {"strategies": {
+        strategy: {
+            "cycles_per_update": results[strategy][0],
+            "local_sc_failures": results[strategy][1],
+        }
+        for strategy in RESERVATION_STRATEGIES
+    }})
 
     # Only the capacity-bounded strategies fail store_conditionals
     # locally (doomed reservations) — their point: shed network traffic

@@ -18,7 +18,7 @@ from repro.config import TimingConfig
 from repro.harness.report import render_table
 from repro.sync.variant import PrimitiveVariant
 
-from .conftest import BENCH_NODES, BENCH_TURNS, publish
+from .conftest import BENCH_NODES, BENCH_TURNS, publish, publish_json
 
 TIMINGS = {
     "default": TimingConfig(),
@@ -66,6 +66,13 @@ def test_timing_sensitivity(benchmark, bench_config):
     publish("ablation_timing", render_table(
         ["machine/panel"] + list(VARIANTS), rows,
         title="Ablation: headline orderings across timing models"))
+    publish_json("ablation_timing", {"cycles_per_update": {
+        timing_name: {
+            panel: {v: table[(timing_name, v, panel)] for v in VARIANTS}
+            for panel in ("contended", "a=10")
+        }
+        for timing_name in TIMINGS
+    }})
 
     for timing_name in TIMINGS:
         # UNC fetch_and_add wins under contention, whatever the machine.

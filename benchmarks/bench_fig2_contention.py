@@ -9,7 +9,7 @@ access, plus the average write-run lengths the paper quotes (LocusRoute
 from repro.harness.figure2 import run_figure2
 from repro.harness.report import render_histogram, render_table
 
-from .conftest import BENCH_NODES, publish
+from .conftest import BENCH_NODES, publish, publish_json
 
 
 def _mean(histogram):
@@ -43,6 +43,17 @@ def test_figure2(benchmark, bench_config):
         title="Section 4.2: average write-run lengths",
     )
     publish("figure2", "\n\n".join(sections) + "\n\n" + write_runs)
+    publish_json("figure2", {"apps": {
+        app: {
+            policy: {
+                "histogram": {str(level): pct for level, pct
+                              in result.histogram(app, policy).items()},
+                "write_run": result.write_run(app, policy),
+            }
+            for policy in ("UNC", "INV", "UPD")
+        }
+        for app in ("locusroute", "cholesky", "tclosure")
+    }})
 
     # Shape assertions (paper §4.2): the lock applications are dominated
     # by the no-contention case; Transitive Closure contends heavily.

@@ -7,7 +7,7 @@ the paper's headline shape claims asserted.
 
 from repro.harness.figures import render_figure, run_figure3
 
-from .conftest import BENCH_TURNS, publish
+from .conftest import BENCH_TURNS, publish, publish_json
 
 
 def test_figure3(benchmark, bench_config):
@@ -17,6 +17,10 @@ def test_figure3(benchmark, bench_config):
     )
     publish("figure3", render_figure(
         panels, "Figure 3: lock-free counter, average cycles per update"))
+    publish_json("figure3", {"panels": [
+        {"label": p.label, "bars": [[label, value] for label, value in p.bars]}
+        for p in panels
+    ]})
 
     by_label = {panel.label: panel for panel in panels}
     top_c = max(p.spec.contention for p in panels)

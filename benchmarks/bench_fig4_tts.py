@@ -2,7 +2,7 @@
 
 from repro.harness.figures import render_figure, run_figure4
 
-from .conftest import BENCH_TURNS, publish
+from .conftest import BENCH_TURNS, publish, publish_json
 
 
 def test_figure4(benchmark, bench_config):
@@ -12,6 +12,10 @@ def test_figure4(benchmark, bench_config):
     )
     publish("figure4", render_figure(
         panels, "Figure 4: TTS-lock counter, average cycles per update"))
+    publish_json("figure4", {"panels": [
+        {"label": p.label, "bars": [[label, value] for label, value in p.bars]}
+        for p in panels
+    ]})
 
     by_label = {panel.label: panel for panel in panels}
     top_c = max(p.spec.contention for p in panels)

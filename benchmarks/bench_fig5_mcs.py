@@ -7,7 +7,7 @@ to cost roughly an extra miss per operation relative to native CAS.
 
 from repro.harness.figures import render_figure, run_figure5
 
-from .conftest import BENCH_TURNS, publish
+from .conftest import BENCH_TURNS, publish, publish_json
 
 
 def test_figure5(benchmark, bench_config):
@@ -17,6 +17,10 @@ def test_figure5(benchmark, bench_config):
     )
     publish("figure5", render_figure(
         panels, "Figure 5: MCS-lock counter, average cycles per update"))
+    publish_json("figure5", {"panels": [
+        {"label": p.label, "bars": [[label, value] for label, value in p.bars]}
+        for p in panels
+    ]})
 
     by_label = {panel.label: panel for panel in panels}
     a1 = by_label["c=1 a=1"]

@@ -2,7 +2,7 @@
 
 from repro.harness.figure6 import render_figure6, run_figure6
 
-from .conftest import publish
+from .conftest import publish, publish_json
 
 
 def test_figure6(benchmark, bench_config):
@@ -11,6 +11,10 @@ def test_figure6(benchmark, bench_config):
         kwargs={"tclosure_size": 24}, rounds=1, iterations=1,
     )
     publish("figure6", render_figure6(result))
+    publish_json("figure6", {"apps": {
+        app: [[label, cycles] for label, cycles in bars]
+        for app, bars in result.apps.items()
+    }})
 
     # Every app ran under every variant and took nonzero time.
     assert set(result.apps) == {"locusroute", "cholesky", "tclosure"}

@@ -3,7 +3,7 @@
 from repro.harness.report import render_table
 from repro.harness.table1 import TABLE1_EXPECTED, run_table1
 
-from .conftest import publish
+from .conftest import publish, publish_json
 
 
 def test_table1(benchmark):
@@ -21,4 +21,9 @@ def test_table1(benchmark):
             title="Table 1: serialized network messages per store",
         ),
     )
+    publish_json("table1", {
+        "expected": dict(TABLE1_EXPECTED),
+        "measured": measured,
+        "match": measured == TABLE1_EXPECTED,
+    })
     assert measured == TABLE1_EXPECTED

@@ -16,9 +16,10 @@ drops the numerics.  See DESIGN.md §4.
 from __future__ import annotations
 
 import random
+from typing import Callable, Optional
 
 from ..config import SimConfig
-from ..machine.machine import build_machine
+from ..machine.machine import Machine, build_machine
 from ..sync.tts_lock import TtsLock
 from ..sync.variant import PrimitiveVariant
 from .common import AppResult
@@ -34,6 +35,7 @@ def run_cholesky(
     factor_work: int | None = None,
     seed: int = 23,
     config: SimConfig | None = None,
+    observe: Optional[Callable[[Machine], None]] = None,
 ) -> AppResult:
     """Run the factorization kernel; return measurements.
 
@@ -43,8 +45,13 @@ def run_cholesky(
     proportional to the processor count) to keep the calibrated sharing
     pattern — write runs near 1.6 with occasional contention — at any
     scale.
+
+    ``observe``, if given, is called with the freshly built machine before
+    any program runs — attach :mod:`repro.obs` recorders there.
     """
     machine = build_machine(config)
+    if observe is not None:
+        observe(machine)
     nprocs = machine.n_nodes
     if n_columns is None:
         n_columns = (9 * nprocs) // 2

@@ -17,9 +17,10 @@ for the substitution rationale.
 from __future__ import annotations
 
 import random
+from typing import Callable, Optional
 
 from ..config import SimConfig
-from ..machine.machine import build_machine
+from ..machine.machine import Machine, build_machine
 from ..sync.tts_lock import TtsLock
 from ..sync.variant import PrimitiveVariant
 from .common import AppResult
@@ -34,6 +35,7 @@ def run_locusroute(
     route_work: int | None = None,
     seed: int = 11,
     config: SimConfig | None = None,
+    observe: Optional[Callable[[Machine], None]] = None,
 ) -> AppResult:
     """Run the routing kernel; return measurements.
 
@@ -46,8 +48,13 @@ def run_locusroute(
     paper measured (mostly uncontended locks, write runs near 1.7–1.8)
     holds at any scale: a saturated work-pool lock is a property of too
     fine a task grain, not of the application.
+
+    ``observe``, if given, is called with the freshly built machine before
+    any program runs — attach :mod:`repro.obs` recorders there.
     """
     machine = build_machine(config)
+    if observe is not None:
+        observe(machine)
     nprocs = machine.n_nodes
     if n_wires is None:
         n_wires = 6 * nprocs

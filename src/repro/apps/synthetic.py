@@ -21,6 +21,7 @@ The counter update itself is either
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..config import SimConfig
 from ..errors import ConfigError
@@ -117,9 +118,16 @@ def run_lockfree_counter(
     variant: PrimitiveVariant,
     spec: SyntheticSpec,
     config: SimConfig | None = None,
+    observe: Optional[Callable[[Machine], None]] = None,
 ) -> AppResult:
-    """Run the lock-free counter application; return its measurements."""
+    """Run the lock-free counter application; return its measurements.
+
+    ``observe``, if given, is called with the freshly built machine before
+    any program runs — attach :mod:`repro.obs` recorders there.
+    """
     machine = build_machine(config)
+    if observe is not None:
+        observe(machine)
     spec.validate(machine.n_nodes)
     counter = machine.alloc_sync(variant.policy, home=0)
     nprocs = machine.n_nodes
@@ -152,15 +160,17 @@ def run_tts_counter(
     variant: PrimitiveVariant,
     spec: SyntheticSpec,
     config: SimConfig | None = None,
+    observe: Optional[Callable[[Machine], None]] = None,
 ) -> AppResult:
     """Counter protected by a TTS lock with bounded exponential backoff."""
-    return _run_locked_counter("tts", variant, spec, config)
+    return _run_locked_counter("tts", variant, spec, config, observe)
 
 
 def run_mcs_counter(
     variant: PrimitiveVariant,
     spec: SyntheticSpec,
     config: SimConfig | None = None,
+    observe: Optional[Callable[[Machine], None]] = None,
 ) -> AppResult:
     """Counter protected by an MCS queue lock.
 
@@ -169,7 +179,7 @@ def run_mcs_counter(
     paper's "load_linked/store_conditional simulates compare_and_swap"
     case.
     """
-    return _run_locked_counter("mcs", variant, spec, config)
+    return _run_locked_counter("mcs", variant, spec, config, observe)
 
 
 def _run_locked_counter(
@@ -177,8 +187,11 @@ def _run_locked_counter(
     variant: PrimitiveVariant,
     spec: SyntheticSpec,
     config: SimConfig | None,
+    observe: Optional[Callable[[Machine], None]] = None,
 ) -> AppResult:
     machine = build_machine(config)
+    if observe is not None:
+        observe(machine)
     spec.validate(machine.n_nodes)
     if kind == "tts":
         lock: TtsLock | McsLock = TtsLock(machine, variant, home=0)

@@ -16,9 +16,10 @@ primitive variant under test via :func:`repro.sync.counters.increment`.
 from __future__ import annotations
 
 import random
+from typing import Callable, Optional
 
 from ..config import SimConfig
-from ..machine.machine import build_machine
+from ..machine.machine import Machine, build_machine
 from ..sync.barrier import TreeBarrier
 from ..sync.counters import increment
 from ..sync.variant import PrimitiveVariant
@@ -61,13 +62,18 @@ def run_transitive_closure(
     seed: int = 7,
     config: SimConfig | None = None,
     check: bool = True,
+    observe: Optional[Callable[[Machine], None]] = None,
 ) -> AppResult:
     """Run Transitive Closure; return measurements (and verify the result).
 
     ``size`` is the number of graph vertices; the matrix is ``size**2``
     ordinary shared words, block-interleaved across the machine.
+    ``observe``, if given, is called with the freshly built machine before
+    any program runs — attach :mod:`repro.obs` recorders there.
     """
     machine = build_machine(config)
+    if observe is not None:
+        observe(machine)
     nprocs = machine.n_nodes
     word = machine.config.machine.word_size
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..config import MachineConfig
+from ..obs.registry import MetricsRegistry
 from .line import CacheLine, LineState
 
 __all__ = ["Cache", "Eviction", "CacheStats"]
@@ -27,13 +28,50 @@ class Eviction:
     dirty: bool
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss counters for one cache."""
+    """Hit/miss counters for one cache (registry-backed).
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    The counters live in the metrics registry under
+    ``<prefix>.hits`` / ``.misses`` / ``.evictions``; the attribute
+    spelling (``cache.stats.hits``) remains as property shims.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "cache",
+    ) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self._hits = reg.counter(f"{prefix}.hits")
+        self._misses = reg.counter(f"{prefix}.misses")
+        self._evictions = reg.counter(f"{prefix}.evictions")
+
+    @property
+    def hits(self) -> int:
+        """Lookups that found a valid line."""
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing."""
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def evictions(self) -> int:
+        """Installs that pushed out a victim line."""
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.value = value
 
     @property
     def hit_rate(self) -> float:
@@ -45,13 +83,18 @@ class CacheStats:
 class Cache:
     """Set-associative, LRU-replaced cache of 32-byte blocks."""
 
-    def __init__(self, config: MachineConfig) -> None:
+    def __init__(
+        self,
+        config: MachineConfig,
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "cache",
+    ) -> None:
         self.config = config
         self.n_sets = config.cache_sets
         self.assoc = config.cache_assoc
         self._sets: dict[int, dict[int, CacheLine]] = {}
         self._tick = 0
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry, prefix=name)
 
     def _set_for(self, block: int) -> dict[int, CacheLine]:
         index = block % self.n_sets
@@ -62,11 +105,19 @@ class Cache:
         return group
 
     def lookup(self, block: int, touch: bool = True) -> Optional[CacheLine]:
-        """Return the valid line for ``block``, or ``None`` on a miss."""
+        """Return the valid line for ``block``, or ``None`` on a miss.
+
+        Only touching lookups (processor-initiated accesses) count
+        toward the hit/miss statistics; ``touch=False`` peeks from the
+        protocol engines do not.
+        """
         line = self._set_for(block).get(block)
         if line is None or not line.valid:
+            if touch:
+                self.stats.misses += 1
             return None
         if touch:
+            self.stats.hits += 1
             self._tick += 1
             line.last_use = self._tick
         return line

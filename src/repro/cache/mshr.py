@@ -36,6 +36,9 @@ class Transaction:
         request_mtype: Message type of the original request, kept so an
             OWNER_NAK can reissue it.
         request_payload: Payload of the original request, for reissue.
+        breakdown: Latency attribution for this transaction (a
+            :class:`repro.obs.latency.TxnBreakdown`); components credit
+            their cycles to it as the transaction flows through them.
     """
 
     op: Any
@@ -49,6 +52,7 @@ class Transaction:
     kind: str = ""
     request_mtype: Any = None
     request_payload: dict = field(default_factory=dict)
+    breakdown: Any = None
 
     def note_chain(self, chain: int) -> None:
         """Track the deepest serialized chain of this transaction."""

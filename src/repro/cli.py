@@ -6,17 +6,33 @@
     $ python -m repro figure3 --nodes 16 --turns 8
     $ python -m repro figure2 --out results/
     $ python -m repro ablation-reservations
+    $ python -m repro table1 --json table1.json
+    $ python -m repro stats figure3
+    $ python -m repro trace table1 --block 0 --format chrome
 
 Every subcommand prints the regenerated table/figure; ``--out DIR`` also
-writes it to ``DIR/<name>.txt``.
+writes it to ``DIR/<name>.txt``, and ``--json OUT`` writes the result as
+a schema-stable JSON document (envelope ``repro.run/1``; see
+:mod:`repro.obs.schema` and ``docs/observability.md``).
+
+Two observability subcommands inspect a small *representative* run of an
+experiment instead of regenerating it in full (see
+:mod:`repro.harness.instrumented`):
+
+* ``repro stats <experiment>`` — dump the machine's metrics registry and
+  per-primitive latency breakdown (p50/p95/max per category);
+* ``repro trace <experiment> --block N --format {text,jsonl,chrome}`` —
+  export the structured event trace; ``chrome`` output loads directly
+  into ``chrome://tracing`` / https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from .config import SimConfig
 from .harness.ablation import (
@@ -32,10 +48,35 @@ from .harness.figures import (
     run_figure4,
     run_figure5,
 )
+from .harness.instrumented import INSTRUMENTED_EXPERIMENTS, run_instrumented
 from .harness.report import render_histogram, render_table
 from .harness.table1 import TABLE1_EXPECTED, run_table1
+from .obs.exporters import export_events, to_jsonl
+from .obs.schema import dump_run, make_run_payload
 
 __all__ = ["main", "build_parser"]
+
+TRACE_FORMATS = ("text", "jsonl", "chrome")
+
+
+def _add_common(parser: argparse.ArgumentParser, top_level: bool) -> None:
+    """Shared options, valid both before and after the subcommand.
+
+    Subparser copies default to ``SUPPRESS`` so an option given at the
+    top level is not clobbered by the subparser's default.
+    """
+
+    def default(value):
+        return value if top_level else argparse.SUPPRESS
+
+    parser.add_argument("--nodes", type=int, default=default(64),
+                        help="machine size (default 64, the paper's)")
+    parser.add_argument("--turns", type=int, default=default(6),
+                        help="synthetic-app turns per panel (default 6)")
+    parser.add_argument("--out", type=pathlib.Path, default=default(None),
+                        help="directory to also write the rendered text to")
+    parser.add_argument("--json", type=pathlib.Path, default=default(None),
+                        help="write the result as repro.run/1 JSON here")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,12 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
             "DSM multiprocessors."
         ),
     )
-    parser.add_argument("--nodes", type=int, default=64,
-                        help="machine size (default 64, the paper's)")
-    parser.add_argument("--turns", type=int, default=6,
-                        help="synthetic-app turns per panel (default 6)")
-    parser.add_argument("--out", type=pathlib.Path, default=None,
-                        help="directory to also write the rendered text to")
+    _add_common(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
     for name, help_text in [
         ("table1", "serialized message counts for stores (exact)"),
@@ -64,7 +100,27 @@ def build_parser() -> argparse.ArgumentParser:
         ("ablation-reservations", "LL/SC reservation strategies (§3.1)"),
         ("ablation-dropcopy", "when drop_copy helps and hurts"),
     ]:
-        sub.add_parser(name, help=help_text)
+        _add_common(sub.add_parser(name, help=help_text), top_level=False)
+    stats = sub.add_parser(
+        "stats",
+        help="metrics registry + latency breakdown of a representative run",
+    )
+    stats.add_argument("experiment",
+                       choices=sorted(INSTRUMENTED_EXPERIMENTS),
+                       help="experiment to instrument")
+    _add_common(stats, top_level=False)
+    trace = sub.add_parser(
+        "trace",
+        help="structured event trace of a representative run",
+    )
+    trace.add_argument("experiment",
+                       choices=sorted(INSTRUMENTED_EXPERIMENTS),
+                       help="experiment to instrument")
+    trace.add_argument("--block", type=int, default=None,
+                       help="only events concerning this block")
+    trace.add_argument("--format", choices=TRACE_FORMATS, default="text",
+                       dest="fmt", help="export format (default text)")
+    _add_common(trace, top_level=False)
     return parser
 
 
@@ -72,12 +128,28 @@ def _config(args: argparse.Namespace) -> SimConfig:
     return SimConfig().with_nodes(args.nodes)
 
 
-def _emit(args: argparse.Namespace, name: str, text: str,
-          out: Callable[[str], None]) -> None:
+def _emit(
+    args: argparse.Namespace,
+    name: str,
+    text: str,
+    out: Callable[[str], None],
+    results: Optional[dict[str, Any]] = None,
+    metrics: Optional[dict[str, Any]] = None,
+    latency: Optional[dict[str, Any]] = None,
+) -> None:
     out(text)
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / f"{name}.txt").write_text(text + "\n")
+    if args.json is not None and results is not None:
+        payload = make_run_payload(
+            name,
+            params={"nodes": args.nodes, "turns": args.turns},
+            results=results,
+            metrics=metrics,
+            latency=latency,
+        )
+        dump_run(payload, args.json)
 
 
 def _cmd_table1(args, out) -> int:
@@ -86,25 +158,38 @@ def _cmd_table1(args, out) -> int:
             for label in TABLE1_EXPECTED]
     _emit(args, "table1", render_table(
         ["store target", "paper", "measured"], rows,
-        title="Table 1: serialized network messages per store"), out)
+        title="Table 1: serialized network messages per store"), out,
+        results={
+            "expected": dict(TABLE1_EXPECTED),
+            "measured": measured,
+            "match": measured == TABLE1_EXPECTED,
+        })
     return 0 if measured == TABLE1_EXPECTED else 1
 
 
 def _cmd_figure2(args, out) -> int:
     result = run_figure2(_config(args))
     sections = []
+    apps_json: dict[str, Any] = {}
     for app in sorted(result.apps):
+        apps_json[app] = {}
         for policy in ("UNC", "INV", "UPD"):
             sections.append(render_histogram(
                 result.histogram(app, policy),
                 title=f"Figure 2 — {app} / {policy}"))
+            apps_json[app][policy] = {
+                "histogram": {str(level): pct for level, pct
+                              in result.histogram(app, policy).items()},
+                "write_run": result.write_run(app, policy),
+            }
     rows = [[app] + [round(result.write_run(app, p), 2)
                      for p in ("UNC", "INV", "UPD")]
             for app in sorted(result.apps)]
     sections.append(render_table(
         ["application", "UNC", "INV", "UPD"], rows,
         title="Section 4.2: average write-run lengths"))
-    _emit(args, "figure2", "\n\n".join(sections), out)
+    _emit(args, "figure2", "\n\n".join(sections), out,
+          results={"apps": apps_json})
     return 0
 
 
@@ -112,7 +197,12 @@ def _make_counter_figure(name: str, runner) -> Callable:
     def command(args, out) -> int:
         panels = runner(_config(args), turns=args.turns)
         _emit(args, name, render_figure(
-            panels, f"{name.capitalize()}: average cycles per update"), out)
+            panels, f"{name.capitalize()}: average cycles per update"), out,
+            results={"panels": [
+                {"label": p.label,
+                 "bars": [[label, value] for label, value in p.bars]}
+                for p in panels
+            ]})
         return 0
 
     return command
@@ -120,7 +210,11 @@ def _make_counter_figure(name: str, runner) -> Callable:
 
 def _cmd_figure6(args, out) -> int:
     result = run_figure6(_config(args))
-    _emit(args, "figure6", render_figure6(result), out)
+    _emit(args, "figure6", render_figure6(result), out,
+          results={"apps": {
+              app: [[label, cycles] for label, cycles in bars]
+              for app, bars in result.apps.items()
+          }})
     return 0
 
 
@@ -129,9 +223,16 @@ def _cmd_ablation_reservations(args, out) -> int:
     rows = [[strategy, round(outcome.results[strategy][0], 1),
              outcome.results[strategy][1]]
             for strategy in RESERVATION_STRATEGIES]
-    _emit(args, "ablation_reservations", render_table(
+    _emit(args, "ablation-reservations", render_table(
         ["strategy", "cycles/update", "local SC failures"], rows,
-        title="Ablation §3.1: LL/SC reservation strategies"), out)
+        title="Ablation §3.1: LL/SC reservation strategies"), out,
+        results={"strategies": {
+            strategy: {
+                "cycles_per_update": outcome.results[strategy][0],
+                "local_sc_failures": outcome.results[strategy][1],
+            }
+            for strategy in RESERVATION_STRATEGIES
+        }})
     return 0
 
 
@@ -140,9 +241,64 @@ def _cmd_ablation_dropcopy(args, out) -> int:
     rows = [[panel] + [round(outcome.table[(panel, v)], 1)
                        for v in outcome.variants]
             for panel in outcome.panels]
-    _emit(args, "ablation_dropcopy", render_table(
+    _emit(args, "ablation-dropcopy", render_table(
         ["panel"] + outcome.variants, rows,
-        title="Ablation: drop_copy effect on the lock-free counter"), out)
+        title="Ablation: drop_copy effect on the lock-free counter"), out,
+        results={
+            "panels": outcome.panels,
+            "variants": outcome.variants,
+            "cycles_per_update": {
+                panel: {v: outcome.table[(panel, v)]
+                        for v in outcome.variants}
+                for panel in outcome.panels
+            },
+        })
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    run = run_instrumented(args.experiment, _config(args), turns=args.turns)
+    registry = run.machine.registry
+    latency = run.machine.stats.latency
+    text = "\n".join([
+        f"stats — {args.experiment}: {run.description}",
+        "",
+        registry.render(),
+        "",
+        latency.render(),
+    ])
+    _emit(args, f"stats-{args.experiment}", text, out,
+          results={"description": run.description,
+                   "events_recorded": len(run.recorder)},
+          metrics=registry.snapshot(),
+          latency=latency.snapshot())
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    blocks = {args.block} if args.block is not None else None
+    run = run_instrumented(args.experiment, _config(args), turns=args.turns,
+                           blocks=blocks)
+    events = run.recorder.events
+    title = f"trace — {args.experiment}: {run.description}"
+    text = export_events(events, args.fmt, title=title)
+    out(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        ext = {"text": "txt", "jsonl": "jsonl", "chrome": "json"}[args.fmt]
+        (args.out / f"trace-{args.experiment}.{ext}").write_text(text + "\n")
+    if args.json is not None:
+        payload = make_run_payload(
+            f"trace-{args.experiment}",
+            params={"nodes": args.nodes, "turns": args.turns,
+                    "block": args.block, "format": args.fmt},
+            results={
+                "description": run.description,
+                "events": [json.loads(line)
+                           for line in to_jsonl(events).splitlines()],
+            },
+        )
+        dump_run(payload, args.json)
     return 0
 
 
@@ -155,6 +311,8 @@ _COMMANDS: dict[str, Callable] = {
     "figure6": _cmd_figure6,
     "ablation-reservations": _cmd_ablation_reservations,
     "ablation-dropcopy": _cmd_ablation_dropcopy,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 

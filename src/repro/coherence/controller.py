@@ -27,7 +27,7 @@ doomed flag returned by the memory.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..cache.cache import Cache
@@ -37,6 +37,8 @@ from ..config import SimConfig
 from ..errors import ProtocolError
 from ..network.mesh import WormholeMesh
 from ..network.message import Message, MessageType, Unit
+from ..obs.latency import TxnBreakdown
+from ..obs.registry import MetricsRegistry
 from ..primitives.ops import (
     CasResult,
     CompareAndSwap,
@@ -106,16 +108,90 @@ class LocalReservation:
         self.doomed = doomed
 
 
-@dataclass
 class ControllerStats:
-    """Per-controller counters."""
+    """Per-controller counters (registry-backed, ``ctrl.<node>.*``).
 
-    ops: int = 0
-    local_hits: int = 0
-    sc_local_failures: int = 0
-    spurious_losses: int = 0
-    nak_retries: int = 0
-    chains: dict[str, int] = field(default_factory=dict)
+    Scalar counters keep their historical attribute spelling as property
+    shims; ``chains`` (summed serialized-chain depth per transaction
+    kind) is materialized from the ``<prefix>.chain.<kind>`` counters.
+    """
+
+    _SCALARS = ("ops", "local_hits", "sc_local_failures",
+                "spurious_losses", "nak_retries")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "ctrl",
+    ) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self._registry = reg
+        self._prefix = prefix
+        self._ops = reg.counter(f"{prefix}.ops")
+        self._local_hits = reg.counter(f"{prefix}.local_hits")
+        self._sc_local_failures = reg.counter(f"{prefix}.sc_local_failures")
+        self._spurious_losses = reg.counter(f"{prefix}.spurious_losses")
+        self._nak_retries = reg.counter(f"{prefix}.nak_retries")
+        self._chains: dict[str, Any] = {}
+
+    @property
+    def ops(self) -> int:
+        """Operations executed by this controller."""
+        return self._ops.value
+
+    @ops.setter
+    def ops(self, value: int) -> None:
+        self._ops.value = value
+
+    @property
+    def local_hits(self) -> int:
+        """Operations satisfied without leaving the node."""
+        return self._local_hits.value
+
+    @local_hits.setter
+    def local_hits(self, value: int) -> None:
+        self._local_hits.value = value
+
+    @property
+    def sc_local_failures(self) -> int:
+        """store_conditionals failed locally with no network traffic."""
+        return self._sc_local_failures.value
+
+    @sc_local_failures.setter
+    def sc_local_failures(self, value: int) -> None:
+        self._sc_local_failures.value = value
+
+    @property
+    def spurious_losses(self) -> int:
+        """Reservations lost to the spurious-invalidation model."""
+        return self._spurious_losses.value
+
+    @spurious_losses.setter
+    def spurious_losses(self, value: int) -> None:
+        self._spurious_losses.value = value
+
+    @property
+    def nak_retries(self) -> int:
+        """Transactions reissued after an OWNER_NAK."""
+        return self._nak_retries.value
+
+    @nak_retries.setter
+    def nak_retries(self, value: int) -> None:
+        self._nak_retries.value = value
+
+    def note_chain(self, kind: str, chain: int) -> None:
+        """Accumulate the serialized-chain depth of one transaction."""
+        counter = self._chains.get(kind)
+        if counter is None:
+            counter = self._chains[kind] = self._registry.counter(
+                f"{self._prefix}.chain.{kind}"
+            )
+        counter.inc(chain)
+
+    @property
+    def chains(self) -> dict[str, int]:
+        """Summed chain depth per transaction kind."""
+        return {kind: c.value for kind, c in self._chains.items()}
 
 
 class CacheController:
@@ -129,10 +205,12 @@ class CacheController:
         self.config = config
         self.machine = machine
         self.sim = machine.sim
-        self.cache = Cache(config.machine)
+        self.events = mesh.events
+        registry = getattr(machine, "registry", None)
+        self.cache = Cache(config.machine, registry, name=f"cache.{node}")
         self.mshr = Mshr()
         self.reservation = LocalReservation()
-        self.stats = ControllerStats()
+        self.stats = ControllerStats(registry, prefix=f"ctrl.{node}")
         self.last_chain = 0
         # Spurious reservation loss (paper §2.1: context switches / TLB
         # exceptions reset the LLbit on real processors).
@@ -141,12 +219,53 @@ class CacheController:
         mesh.register(node, Unit.CACHE, self.handle)
 
     # ==================================================================
+    # Observability helpers.
+    #
+    # Every emission site is guarded by ``events.active`` so a machine
+    # with no subscribers pays one attribute check and never constructs
+    # an Event — the simulation itself is never perturbed.
+    # ==================================================================
+
+    def _emit(self, kind: str, ts: int, **data: Any) -> None:
+        if self.events.active:
+            self.events.emit(kind, ts, node=self.node, **data)
+
+    def _emit_transition(self, block: int, frm: LineState | None,
+                         to: LineState | None) -> None:
+        if self.events.active and frm is not to:
+            self.events.emit(
+                "cache.transition", self.sim.now, node=self.node, block=block,
+                frm=frm.value if frm is not None else "invalid",
+                to=to.value if to is not None else "invalid",
+            )
+
+    def _grant_reservation(
+        self, block: int, addr: int,
+        token: Optional[int] = None, doomed: bool = False,
+    ) -> None:
+        """Record an LL reservation (and announce it on the bus)."""
+        self.reservation.set(block, addr, token=token, doomed=doomed)
+        self._emit("res.grant", self.sim.now, block=block, addr=addr,
+                   doomed=doomed)
+
+    def _revoke_reservation(self, reason: str) -> None:
+        """Kill the LL reservation, noting why."""
+        if self.reservation.valid:
+            self._emit("res.revoke", self.sim.now,
+                       block=self.reservation.block, reason=reason)
+        self.reservation.clear()
+
+    # ==================================================================
     # Processor-facing interface.
     # ==================================================================
 
     def execute(self, op: Any, callback: Callback) -> None:
         """Perform ``op`` and eventually call ``callback(result)``."""
         self.stats.ops += 1
+        self._emit("atomic.start", self.sim.now, op=type(op).__name__,
+                   addr=getattr(op, "addr", None),
+                   block=self.machine.block_of(op.addr)
+                   if getattr(op, "addr", None) is not None else None)
         if isinstance(op, DropCopy):
             self._drop_copy(op, callback)
             return
@@ -217,7 +336,7 @@ class CacheController:
         """Model §2.1's spurious reservation invalidations, if enabled."""
         if self._spurious_rate and self.reservation.valid:
             if self._spurious_rng.random() < self._spurious_rate:
-                self.reservation.clear()
+                self._revoke_reservation("spurious")
                 self.stats.spurious_losses += 1
                 return True
         return False
@@ -233,7 +352,7 @@ class CacheController:
             token = res.token
             if res.doomed:
                 # Over-limit reservation: guaranteed failure, no traffic.
-                res.clear()
+                self._revoke_reservation("doomed")
                 self.stats.sc_local_failures += 1
                 self._hit_result(False, callback)
                 return
@@ -244,7 +363,7 @@ class CacheController:
             self._hit_result(False, callback)
             return
         if res.valid and res.addr == op.addr:
-            res.clear()
+            self._revoke_reservation("sc_consumed")
         self._start_sync(op, block, callback, "sync_sc", kind="sc",
                          value=op.value, token=token)
 
@@ -288,7 +407,7 @@ class CacheController:
             self._execute_inv_cas(op, block, offset, line, policy, callback)
         elif isinstance(op, LoadLinked):
             if line is not None:
-                self.reservation.set(block, op.addr)
+                self._grant_reservation(block, op.addr)
                 self._hit(op.addr, LLValue(line.read_word(offset)), callback,
                           is_write=False)
             else:
@@ -340,7 +459,7 @@ class CacheController:
             return
         if line is not None and line.state is LineState.EXCLUSIVE:
             # Exclusive and reserved: succeed entirely locally.
-            res.clear()
+            self._revoke_reservation("sc_consumed")
             line.write_word(offset, op.value)
             self._hit(op.addr, True, callback, is_write=True, atomic=True)
             return
@@ -351,7 +470,7 @@ class CacheController:
             return
         # Line gone; the invalidation should have killed the reservation,
         # but be defensive: fail locally.
-        res.clear()
+        self._revoke_reservation("line_gone")
         self.stats.sc_local_failures += 1
         self._hit_result(False, callback)
 
@@ -373,9 +492,10 @@ class CacheController:
             self._send_unsolicited(MessageType.WB, block, data=list(line.data))
         else:
             self._send_unsolicited(MessageType.DROP, block)
+        self._emit_transition(block, line.state, None)
         self.cache.drop(block)
         if self.reservation.block == block:
-            self.reservation.clear()
+            self._revoke_reservation("drop_copy")
 
     # ==================================================================
     # Transaction plumbing.
@@ -395,11 +515,15 @@ class CacheController:
         self.machine.stats.note_access(addr, self.node, is_write)
         delay = (self.config.timing.controller_occupancy if atomic
                  else self.config.timing.cache_hit)
+        self._emit("atomic.complete", self.sim.now + delay, addr=addr,
+                   local=True)
         self.sim.schedule(delay, callback, result)
 
     def _hit_result(self, result: Any, callback: Callback) -> None:
         """Complete a local operation that touched no memory state."""
         self.last_chain = 0
+        self._emit("atomic.complete",
+                   self.sim.now + self.config.timing.cache_hit, local=True)
         self.sim.schedule(self.config.timing.cache_hit, callback, result)
 
     def _start_txn(
@@ -412,7 +536,8 @@ class CacheController:
         **payload: Any,
     ) -> None:
         txn = Transaction(op=op, block=block, callback=callback, kind=txn_kind,
-                          request_mtype=mtype, request_payload=payload)
+                          request_mtype=mtype, request_payload=payload,
+                          breakdown=TxnBreakdown(self.sim.now))
         self.mshr.begin(txn)
         self._issue(txn)
 
@@ -538,10 +663,11 @@ class CacheController:
     def _on_inv(self, msg: Message) -> None:
         line = self.cache.lookup(msg.block, touch=False)
         if line is not None:
+            self._emit_transition(msg.block, line.state, None)
             line.invalidate()
             self.cache.drop(msg.block)
         if self.reservation.block == msg.block:
-            self.reservation.clear()
+            self._revoke_reservation("invalidated")
         self._reply_to(msg, MessageType.INV_ACK, msg.requester, Unit.CACHE)
 
     def _on_update(self, msg: Message) -> None:
@@ -566,12 +692,14 @@ class CacheController:
             return
         if msg.mtype is MessageType.FLUSH_REQ:
             data = list(line.data)
+            self._emit_transition(msg.block, line.state, None)
             self.cache.drop(msg.block)
             if self.reservation.block == msg.block:
-                self.reservation.clear()
+                self._revoke_reservation("recalled")
             self._reply_to(msg, MessageType.FLUSH_REPLY, home, Unit.HOME,
                            data=data)
         elif msg.mtype is MessageType.DOWNGRADE_REQ:
+            self._emit_transition(msg.block, line.state, LineState.SHARED)
             line.state = LineState.SHARED
             data = list(line.data)
             line.dirty = False
@@ -590,9 +718,10 @@ class CacheController:
             # Success: surrender the line; the requester takes it exclusive
             # and applies the new value there.
             data = list(line.data)
+            self._emit_transition(msg.block, line.state, None)
             self.cache.drop(msg.block)
             if self.reservation.block == msg.block:
-                self.reservation.clear()
+                self._revoke_reservation("cas_taken")
             self._reply_to(msg, MessageType.FLUSH_REPLY, home, Unit.HOME,
                            data=data, cas_ok=True, old=old)
             return
@@ -606,6 +735,7 @@ class CacheController:
         else:
             # Failure, share: demote to shared; the home sends the
             # requester a read-only copy with the failure result.
+            self._emit_transition(msg.block, line.state, LineState.SHARED)
             line.state = LineState.SHARED
             line.dirty = False
             self._reply_to(msg, MessageType.SHARE_WB, home, Unit.HOME,
@@ -626,12 +756,20 @@ class CacheController:
         result = self._apply_completion(txn, reply)
         self.mshr.finish()
         self.last_chain = txn.chain
-        key = txn.kind
-        self.stats.chains[key] = self.stats.chains.get(key, 0) + txn.chain
+        self.stats.note_chain(txn.kind, txn.chain)
         self.machine.stats.note_transaction(txn.kind, txn.chain)
         # Serve remote requests that arrived while we were in flight.
         for deferred in self.mshr.take_deferred(txn.block):
             self._on_recall(deferred)
+        done = self.sim.now + self.config.timing.controller_occupancy
+        if txn.breakdown is not None:
+            txn.breakdown.credit("controller", done)
+            policy = self.machine.policy_of(txn.block)
+            self.machine.stats.note_txn_latency(
+                txn.kind, policy.value, txn.breakdown
+            )
+        self._emit("atomic.complete", done, block=txn.block, op=txn.kind,
+                   chain=txn.chain, local=False)
         self.sim.schedule(self.config.timing.controller_occupancy,
                           txn.callback, result)
 
@@ -650,7 +788,7 @@ class CacheController:
         if kind == "ll_inv":
             offset = self.machine.offset_of(op.addr)
             self._install(block, LineState.SHARED, data)
-            self.reservation.set(block, op.addr)
+            self._grant_reservation(block, op.addr)
             self.machine.stats.note_access(op.addr, self.node, False)
             return LLValue(data[offset])
 
@@ -707,7 +845,7 @@ class CacheController:
     ) -> bool:
         """INV-policy store_conditional arbitration came back."""
         op = txn.op
-        self.reservation.clear()
+        self._revoke_reservation("sc_consumed")
         if reply.mtype is MessageType.SC_FAIL:
             return False
         if not reply.payload.get("sc_grant"):
@@ -716,6 +854,7 @@ class CacheController:
         if line is None:
             raise ProtocolError("SC granted but the shared copy vanished")
         offset = self.machine.offset_of(op.addr)
+        self._emit_transition(txn.block, line.state, LineState.EXCLUSIVE)
         line.state = LineState.EXCLUSIVE
         line.write_word(offset, op.value)
         self.machine.stats.note_access(op.addr, self.node, True)
@@ -750,7 +889,8 @@ class CacheController:
         result = reply.payload.get("result")
         if kind == "sync_ll":
             _tag, value, token, doomed = result
-            self.reservation.set(txn.block, op.addr, token=token, doomed=doomed)
+            self._grant_reservation(txn.block, op.addr, token=token,
+                                    doomed=doomed)
             return LLValue(value, token=token, doomed=doomed)
         if kind == "sync_sc":
             return result[1]
@@ -763,13 +903,19 @@ class CacheController:
         self, block: int, state: LineState, data: list[int], dirty: bool = False
     ) -> None:
         """Install a line, writing back or dropping any evicted victim."""
+        if self.events.active:
+            prev = self.cache.lookup(block, touch=False)
+            self._emit_transition(
+                block, prev.state if prev is not None else None, state
+            )
         victim = self.cache.install(block, state, data, dirty=dirty)
         if victim is None:
             return
+        self._emit_transition(victim.block, victim.state, None)
         if victim.state is LineState.EXCLUSIVE:
             self._send_unsolicited(MessageType.WB, victim.block,
                                    data=victim.data)
         else:
             self._send_unsolicited(MessageType.DROP, victim.block)
         if self.reservation.block == victim.block:
-            self.reservation.clear()
+            self._revoke_reservation("evicted")

@@ -66,6 +66,13 @@ class HomeNode:
         self.directory = directory
         self.reservations = reservations
         self.machine = machine
+        self.events = mesh.events
+        registry = getattr(machine, "registry", None)
+        if registry is None:
+            from ..obs.registry import MetricsRegistry
+            registry = MetricsRegistry()
+        self._requests = registry.counter(f"home.{node}.requests")
+        self._queued = registry.counter(f"home.{node}.queued")
         mesh.register(node, Unit.HOME, self.handle)
 
     # ------------------------------------------------------------------
@@ -78,15 +85,24 @@ class HomeNode:
         Drop notices only touch directory state (no DRAM data), so they
         occupy the module for the shorter directory-service time.
         """
+        self._requests.inc()
         if msg.mtype is MessageType.DROP:
             service = self.memory.config.timing.directory_service
-            self.memory.service(self._process, msg, service_time=service)
+            self.memory.service(self._process, msg, service_time=service,
+                                txn=msg.txn)
         else:
-            self.memory.service(self._process, msg)
+            self.memory.service(self._process, msg, txn=msg.txn)
 
     def _process(self, msg: Message) -> None:
         entry = self.directory.entry(msg.block)
         if msg.mtype in _REQUESTS and entry.busy:
+            self._queued.inc()
+            if self.events.active:
+                self.events.emit(
+                    "dir.queue.enter", self.machine.sim.now, node=self.node,
+                    block=msg.block, mtype=msg.mtype.value,
+                    requester=msg.requester, depth=len(entry.waiters) + 1,
+                )
             entry.waiters.append(msg)
             return
         self._dispatch(msg)
@@ -160,8 +176,13 @@ class HomeNode:
         if entry.waiters:
             waiters = list(entry.waiters)
             entry.waiters.clear()
+            bus = self.events
             for msg in waiters:
-                self.memory.service(self._process, msg)
+                if bus.active:
+                    bus.emit("dir.queue.leave", self.machine.sim.now,
+                             node=self.node, block=msg.block,
+                             mtype=msg.mtype.value, requester=msg.requester)
+                self.memory.service(self._process, msg, txn=msg.txn)
 
     def _note(self, msg: Message, is_write: bool) -> None:
         """Record a memory-side access for sharing-pattern statistics."""
@@ -411,11 +432,21 @@ class HomeNode:
             return ("cas", False, old), False
         if kind == "ll":
             grant = self.reservations.load_linked(msg.requester, block)
+            if self.events.active:
+                self.events.emit("res.grant", self.machine.sim.now,
+                                 node=self.node, block=block,
+                                 requester=msg.requester, doomed=grant.doomed,
+                                 memory_side=True)
             return ("ll", old, grant.token, grant.doomed), False
         if kind == "sc":
             value, token = msg.payload["value"], msg.payload.get("token")
             if self.reservations.consume(msg.requester, block, token):
                 self.memory.write_word(block, offset, value)
+                if self.events.active:
+                    self.events.emit("res.revoke", self.machine.sim.now,
+                                     node=self.node, block=block,
+                                     requester=msg.requester,
+                                     reason="sc_consumed", memory_side=True)
                 return ("sc", True), value != old
             return ("sc", False), False
         raise ProtocolError(f"unknown memory-side op kind {kind!r}")

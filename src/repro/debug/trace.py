@@ -1,7 +1,7 @@
 """Protocol message tracing.
 
-A :class:`ProtocolTracer` attaches to a machine's mesh and records every
-message (type, endpoints, block, serialized-chain depth, send and
+A :class:`ProtocolTracer` attaches to a machine's event bus and records
+every message (type, endpoints, block, serialized-chain depth, send and
 delivery times), optionally filtered to a set of blocks.  Traces render
 as a readable timeline — the tool you reach for when a coherence
 transaction misbehaves.
@@ -11,14 +11,19 @@ transaction misbehaves.
     tracer = ProtocolTracer(machine, blocks={machine.block_of(addr)})
     ...  # run programs
     print(tracer.render())
+
+The tracer is a thin compatibility wrapper over the machine-wide
+:class:`~repro.obs.events.EventBus` (it subscribes to ``msg.send``
+events); any number of tracers can coexist, and each can be detached in
+any order without disturbing the others.  For richer event kinds (cache
+transitions, directory queueing, reservations) subscribe an
+:class:`~repro.obs.events.EventRecorder` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
-
-from ..network.message import Message
 
 __all__ = ["TraceRecord", "ProtocolTracer"]
 
@@ -59,34 +64,36 @@ class ProtocolTracer:
         self.limit = limit
         self.records: list[TraceRecord] = []
         self.dropped = 0
-        self._previous = machine.mesh.observer
-        machine.mesh.observer = self._observe
+        self._token: Optional[int] = machine.events.subscribe(
+            self._on_event, kinds=("msg.send",)
+        )
 
-    def _observe(self, msg: Message, sent: int, delivered: int) -> None:
-        if self._previous is not None:
-            self._previous(msg, sent, delivered)
-        if self.blocks is not None and msg.block not in self.blocks:
+    def _on_event(self, event: Any) -> None:
+        data = event.data
+        if self.blocks is not None and data.get("block") not in self.blocks:
             return
         if len(self.records) >= self.limit:
             self.dropped += 1
             return
         self.records.append(
             TraceRecord(
-                sent=sent,
-                delivered=delivered,
-                mtype=msg.mtype.value,
-                src=msg.src,
-                dst=msg.dst,
-                unit=msg.unit.value,
-                block=msg.block,
-                chain=msg.chain,
-                requester=msg.requester,
+                sent=event.ts,
+                delivered=data["delivered"],
+                mtype=data["mtype"],
+                src=data["src"],
+                dst=data["dst"],
+                unit=data["unit"],
+                block=data["block"],
+                chain=data["chain"],
+                requester=data["requester"],
             )
         )
 
     def detach(self) -> None:
-        """Stop tracing (restores any previously installed observer)."""
-        self.machine.mesh.observer = self._previous
+        """Stop tracing.  Safe to call in any order across tracers."""
+        if self._token is not None:
+            self.machine.events.unsubscribe(self._token)
+            self._token = None
 
     # ------------------------------------------------------------------
     # Queries.

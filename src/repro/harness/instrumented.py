@@ -1,0 +1,177 @@
+"""Representative instrumented runs for ``repro stats`` / ``repro trace``.
+
+Full experiments build many machines internally and throw their metrics
+away with each; for interactive inspection we instead run one small,
+*representative* configuration of each experiment with an
+:class:`~repro.obs.events.EventRecorder` attached and hand back the live
+machine, so its registry, latency tracker, and recorded events can be
+rendered or exported.
+
+.. code-block:: python
+
+    run = run_instrumented("table1")
+    print(run.machine.registry.render())
+    print(export_events(run.recorder.events, "chrome"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..apps.synthetic import (
+    SyntheticSpec,
+    run_lockfree_counter,
+    run_mcs_counter,
+    run_tts_counter,
+)
+from ..apps.tclosure import run_transitive_closure
+from ..coherence.policy import SyncPolicy
+from ..config import SimConfig, small_config
+from ..errors import ConfigError
+from ..machine.machine import Machine, build_machine
+from ..obs.events import EventRecorder
+from ..sync.variant import PrimitiveVariant
+
+__all__ = ["InstrumentedRun", "INSTRUMENTED_EXPERIMENTS", "run_instrumented"]
+
+
+@dataclass
+class InstrumentedRun:
+    """A finished representative run with its recorder still attached."""
+
+    experiment: str
+    description: str
+    machine: Machine
+    recorder: EventRecorder
+
+
+def _recorded(machine: Machine,
+              blocks: Optional[Iterable[int]]) -> EventRecorder:
+    return EventRecorder(machine.events, blocks=blocks)
+
+
+def _run_table1(config: SimConfig, turns: int,
+                blocks: Optional[Iterable[int]]) -> tuple[Machine,
+                                                          EventRecorder, str]:
+    # The richest Table 1 row: INV store to a remote-exclusive line
+    # (4 serialized messages — ownership transferred through the home).
+    machine = build_machine(config)
+    recorder = _recorded(machine, blocks)
+    addr = machine.alloc_sync(SyncPolicy.INV, home=1)
+
+    def put(p, value):
+        yield p.store(addr, value)
+
+    machine.spawn(2, put, 1)        # stage: node 2 takes the line exclusive
+    machine.run()
+    machine.spawn(0, put, 2)        # measure: node 0 steals ownership
+    machine.run()
+    return machine, recorder, "INV store to a remote-exclusive line"
+
+
+def _counter_runner(runner, label: str):
+    def run(config: SimConfig, turns: int,
+            blocks: Optional[Iterable[int]]) -> tuple[Machine,
+                                                      EventRecorder, str]:
+        holder: dict = {}
+
+        def observe(machine: Machine) -> None:
+            holder["machine"] = machine
+            holder["recorder"] = _recorded(machine, blocks)
+
+        contention = min(4, config.machine.n_nodes)
+        spec = SyntheticSpec(contention=contention, turns=turns)
+        variant = PrimitiveVariant("fap", SyncPolicy.INV)
+        runner(variant, spec, config, observe=observe)
+        return (holder["machine"], holder["recorder"],
+                f"{label}, fetch_and_add/INV, c={contention}, "
+                f"{turns} turns")
+
+    return run
+
+
+def _run_apps(config: SimConfig, turns: int,
+              blocks: Optional[Iterable[int]]) -> tuple[Machine,
+                                                        EventRecorder, str]:
+    holder: dict = {}
+
+    def observe(machine: Machine) -> None:
+        holder["machine"] = machine
+        holder["recorder"] = _recorded(machine, blocks)
+
+    variant = PrimitiveVariant("fap", SyncPolicy.INV)
+    run_transitive_closure(variant, size=12, config=config, observe=observe)
+    return (holder["machine"], holder["recorder"],
+            "Transitive Closure (size 12), fetch_and_add/INV")
+
+
+def _run_llsc(config: SimConfig, turns: int,
+              blocks: Optional[Iterable[int]]) -> tuple[Machine,
+                                                        EventRecorder, str]:
+    holder: dict = {}
+
+    def observe(machine: Machine) -> None:
+        holder["machine"] = machine
+        holder["recorder"] = _recorded(machine, blocks)
+
+    contention = min(4, config.machine.n_nodes)
+    spec = SyntheticSpec(contention=contention, turns=turns)
+    variant = PrimitiveVariant("llsc", SyncPolicy.UNC)
+    run_lockfree_counter(variant, spec, config, observe=observe)
+    return (holder["machine"], holder["recorder"],
+            f"LL/SC counter under UNC (reservations), c={contention}")
+
+
+def _run_dropcopy(config: SimConfig, turns: int,
+                  blocks: Optional[Iterable[int]]) -> tuple[Machine,
+                                                            EventRecorder,
+                                                            str]:
+    holder: dict = {}
+
+    def observe(machine: Machine) -> None:
+        holder["machine"] = machine
+        holder["recorder"] = _recorded(machine, blocks)
+
+    contention = min(4, config.machine.n_nodes)
+    spec = SyntheticSpec(contention=contention, turns=turns)
+    variant = PrimitiveVariant("fap", SyncPolicy.INV, use_drop=True)
+    run_lockfree_counter(variant, spec, config, observe=observe)
+    return (holder["machine"], holder["recorder"],
+            f"fetch_and_Φ counter with drop_copy, c={contention}")
+
+
+INSTRUMENTED_EXPERIMENTS = {
+    "table1": _run_table1,
+    "figure2": _run_apps,
+    "figure3": _counter_runner(run_lockfree_counter, "lock-free counter"),
+    "figure4": _counter_runner(run_tts_counter, "TTS-lock counter"),
+    "figure5": _counter_runner(run_mcs_counter, "MCS-lock counter"),
+    "figure6": _run_apps,
+    "ablation-reservations": _run_llsc,
+    "ablation-dropcopy": _run_dropcopy,
+}
+
+
+def run_instrumented(
+    experiment: str,
+    config: SimConfig | None = None,
+    turns: int = 2,
+    blocks: Optional[Iterable[int]] = None,
+) -> InstrumentedRun:
+    """Run one representative configuration of ``experiment``, recorded.
+
+    Returns the live machine (registry and latency tracker populated) and
+    the attached recorder (all event kinds, optionally block-filtered).
+    """
+    try:
+        runner = INSTRUMENTED_EXPERIMENTS[experiment]
+    except KeyError:
+        known = ", ".join(sorted(INSTRUMENTED_EXPERIMENTS))
+        raise ConfigError(
+            f"unknown experiment {experiment!r}; choose from: {known}"
+        ) from None
+    machine, recorder, description = runner(
+        config or small_config(n_nodes=4), turns, blocks
+    )
+    return InstrumentedRun(experiment, description, machine, recorder)

@@ -42,6 +42,6 @@ def render_histogram(
     peak = max(histogram.values(), default=0.0)
     for level in sorted(histogram):
         pct = histogram[level]
-        bar = "#" * max(1, round(width * pct / peak)) if peak else ""
+        bar = "#" * max(1, round(width * pct / peak)) if peak and pct > 0 else ""
         lines.append(f"{level:4d} | {pct:5.1f}% {bar}")
     return "\n".join(lines)

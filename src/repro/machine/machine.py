@@ -33,6 +33,8 @@ from ..memory.directory import Directory, DirState
 from ..memory.module import MemoryModule
 from ..memory.reservations import make_reservation_table
 from ..network.mesh import WormholeMesh
+from ..obs.events import EventBus
+from ..obs.registry import MetricsRegistry
 from ..processor.api import Proc
 from ..processor.magic import BarrierManager
 from ..processor.processor import Processor
@@ -60,10 +62,16 @@ class Machine:
     def __init__(self, config: SimConfig) -> None:
         config.validate()
         self.config = config
-        self.sim = Simulator()
-        self.mesh = WormholeMesh(self.sim, config)
+        # Observability spine: one metrics registry and one event bus,
+        # shared by every component (see docs/observability.md).
+        self.registry = MetricsRegistry()
+        self.events = EventBus()
+        self.sim = Simulator(registry=self.registry)
+        self.mesh = WormholeMesh(self.sim, config, registry=self.registry,
+                                 events=self.events)
         self.address = AddressSpace(config.machine)
         self.stats = MachineStats()
+        self.stats.attach_registry(self.registry)
         self.barriers = BarrierManager(self.sim)
         self._policies: dict[int, SyncPolicy] = {}
         self.nodes: list[Node] = []
@@ -71,7 +79,7 @@ class Machine:
 
         n = config.machine.n_nodes
         for i in range(n):
-            memory = MemoryModule(self.sim, i, config)
+            memory = MemoryModule(self.sim, i, config, registry=self.registry)
             directory = Directory(i)
             reservations = make_reservation_table(
                 config.reservation_strategy, n, config.reservation_limit

@@ -12,21 +12,50 @@ zero-filled, like real DRAM after initialization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from ..config import SimConfig
+from ..obs.registry import MetricsRegistry
 from ..sim.engine import Simulator
 
-__all__ = ["MemoryModule"]
+__all__ = ["MemoryModule", "MemoryStats"]
 
 
-@dataclass
 class MemoryStats:
-    """Counters for one memory module."""
+    """Counters for one memory module (registry-backed, ``mem.<node>.*``).
 
-    accesses: int = 0
-    total_queue_wait: int = 0
+    ``accesses`` and ``total_queue_wait`` remain readable/writable via
+    the historical attributes; the registry additionally keeps a
+    log-bucketed ``queue_wait_hist`` of per-request waits.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "mem",
+    ) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self._accesses = reg.counter(f"{prefix}.accesses")
+        self._total_queue_wait = reg.counter(f"{prefix}.queue_wait")
+        self.queue_wait_hist = reg.histogram(f"{prefix}.queue_wait_hist")
+
+    @property
+    def accesses(self) -> int:
+        """Requests serviced (``<prefix>.accesses``)."""
+        return self._accesses.value
+
+    @accesses.setter
+    def accesses(self, value: int) -> None:
+        self._accesses.value = value
+
+    @property
+    def total_queue_wait(self) -> int:
+        """Summed cycles spent waiting for service (``<prefix>.queue_wait``)."""
+        return self._total_queue_wait.value
+
+    @total_queue_wait.setter
+    def total_queue_wait(self, value: int) -> None:
+        self._total_queue_wait.value = value
 
     @property
     def mean_queue_wait(self) -> float:
@@ -37,14 +66,20 @@ class MemoryStats:
 class MemoryModule:
     """One node's memory: block storage plus a FIFO service queue."""
 
-    def __init__(self, sim: Simulator, node: int, config: SimConfig) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        config: SimConfig,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.sim = sim
         self.node = node
         self.config = config
         self.words_per_block = config.machine.words_per_block
         self._blocks: dict[int, list[int]] = {}
         self._next_free = 0
-        self.stats = MemoryStats()
+        self.stats = MemoryStats(registry, prefix=f"mem.{node}")
 
     # ------------------------------------------------------------------
     # Data access (zero latency; timing is applied via `service`).
@@ -87,12 +122,16 @@ class MemoryModule:
         fn: Callable[..., None],
         *args: Any,
         service_time: int | None = None,
+        txn: Any = None,
     ) -> None:
         """Enqueue a request; run ``fn(*args)`` when service completes.
 
         Models the FIFO memory queue: the request waits until the module is
         free, then occupies it for ``memory_service`` cycles (or
-        ``service_time``, for directory-only work).
+        ``service_time``, for directory-only work).  When the request
+        belongs to a requester transaction, pass it as ``txn`` so the
+        queue wait and service occupancy are attributed in its latency
+        breakdown.
         """
         now = self.sim.now
         start = max(now, self._next_free)
@@ -101,4 +140,9 @@ class MemoryModule:
         self._next_free = start + service
         self.stats.accesses += 1
         self.stats.total_queue_wait += start - now
+        self.stats.queue_wait_hist.observe(start - now)
+        breakdown = getattr(txn, "breakdown", None)
+        if breakdown is not None:
+            breakdown.credit("queue", start)
+            breakdown.credit("memory", start + service)
         self.sim.schedule(start + service - now, fn, *args)

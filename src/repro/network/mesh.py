@@ -15,15 +15,24 @@ Latency model (matching the paper's description of its back end):
   a small fixed bus latency.
 
 Delivery invokes a handler registered per (node, unit).
+
+Observability: every delivered message increments the ``net.*`` counters
+in the machine's :class:`~repro.obs.registry.MetricsRegistry`, and —
+when anyone is listening — emits ``msg.send``/``msg.deliver`` events on
+the machine's :class:`~repro.obs.events.EventBus`.  The legacy
+single-slot ``observer`` attribute is kept for backward compatibility;
+new code should subscribe to the bus instead (see
+:class:`repro.debug.trace.ProtocolTracer`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from ..config import SimConfig
 from ..errors import SimulationError
+from ..obs.events import EventBus
+from ..obs.registry import MetricsRegistry
 from ..sim.engine import Simulator
 from .message import Message, Unit
 from .topology import Mesh2D
@@ -33,37 +42,101 @@ __all__ = ["WormholeMesh", "NetworkStats"]
 Handler = Callable[[Message], None]
 
 
-@dataclass
 class NetworkStats:
-    """Aggregate network counters."""
+    """Aggregate network counters (registry-backed, ``net.*``).
 
-    messages: int = 0
-    local_messages: int = 0
-    flits: int = 0
-    total_latency: int = 0
-    by_type: dict[str, int] = field(default_factory=dict)
+    The historical attribute spelling (``mesh.stats.messages``,
+    ``mesh.stats.by_type``) keeps working as property shims over the
+    registry counters.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self.registry = reg
+        self._messages = reg.counter("net.messages")
+        self._local_messages = reg.counter("net.local_messages")
+        self._flits = reg.counter("net.flits")
+        self._total_latency = reg.counter("net.total_latency")
+        self._latency_hist = reg.histogram("net.latency")
+        self._by_type: dict[str, object] = {}
+
+    # -- property shims over the registry ------------------------------
+
+    @property
+    def messages(self) -> int:
+        """Non-local messages delivered (``net.messages``)."""
+        return self._messages.value
+
+    @messages.setter
+    def messages(self, value: int) -> None:
+        self._messages.value = value
+
+    @property
+    def local_messages(self) -> int:
+        """Node-local messages delivered (``net.local_messages``)."""
+        return self._local_messages.value
+
+    @local_messages.setter
+    def local_messages(self, value: int) -> None:
+        self._local_messages.value = value
+
+    @property
+    def flits(self) -> int:
+        """Flits injected by non-local messages (``net.flits``)."""
+        return self._flits.value
+
+    @flits.setter
+    def flits(self, value: int) -> None:
+        self._flits.value = value
+
+    @property
+    def total_latency(self) -> int:
+        """Summed non-local message latency (``net.total_latency``)."""
+        return self._total_latency.value
+
+    @total_latency.setter
+    def total_latency(self, value: int) -> None:
+        self._total_latency.value = value
+
+    @property
+    def by_type(self) -> dict[str, int]:
+        """Messages per type (``net.by_type.<TYPE>`` counters)."""
+        return {key: counter.value for key, counter in self._by_type.items()}
 
     def record(self, msg: Message, flits: int, latency: int, local: bool) -> None:
         """Account one delivered message."""
         if local:
-            self.local_messages += 1
+            self._local_messages.inc()
         else:
-            self.messages += 1
-            self.flits += flits
-            self.total_latency += latency
+            self._messages.inc()
+            self._flits.inc(flits)
+            self._total_latency.inc(latency)
+            self._latency_hist.observe(latency)
         key = msg.mtype.value
-        self.by_type[key] = self.by_type.get(key, 0) + 1
+        counter = self._by_type.get(key)
+        if counter is None:
+            counter = self._by_type[key] = self.registry.counter(
+                f"net.by_type.{key}"
+            )
+        counter.inc()  # type: ignore[union-attr]
 
     @property
     def mean_latency(self) -> float:
         """Mean network latency of non-local messages."""
-        return self.total_latency / self.messages if self.messages else 0.0
+        messages = self._messages.value
+        return self._total_latency.value / messages if messages else 0.0
 
 
 class WormholeMesh:
     """The interconnect: routes :class:`Message` objects between nodes."""
 
-    def __init__(self, sim: Simulator, config: SimConfig) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimConfig,
+        registry: Optional[MetricsRegistry] = None,
+        events: Optional[EventBus] = None,
+    ) -> None:
         self.sim = sim
         self.config = config
         machine = config.machine
@@ -72,8 +145,9 @@ class WormholeMesh:
         # Earliest cycle at which each port can begin accepting a message.
         self._entry_free = [0] * machine.n_nodes
         self._exit_free = [0] * machine.n_nodes
-        self.stats = NetworkStats()
-        # Optional observer(msg, send_time, deliver_time) for tracing.
+        self.stats = NetworkStats(registry)
+        self.events = events if events is not None else EventBus()
+        # Legacy single-slot observer(msg, send_time, deliver_time) hook.
         self.observer: Callable[[Message, int, int], None] | None = None
 
     def register(self, node: int, unit: Unit, handler: Handler) -> None:
@@ -86,6 +160,27 @@ class WormholeMesh:
         if msg.mtype.carries_data:
             return self.config.machine.data_flits(timing)
         return timing.header_flits
+
+    def _observe(self, msg: Message, sent: int, delivered: int) -> None:
+        """Feed the legacy observer and the event bus (no sim effects)."""
+        if self.observer is not None:
+            self.observer(msg, sent, delivered)
+        bus = self.events
+        if bus.active:
+            fields = dict(
+                mtype=msg.mtype.value,
+                src=msg.src,
+                dst=msg.dst,
+                unit=msg.unit.value,
+                block=msg.block,
+                chain=msg.chain,
+                requester=msg.requester,
+                msg_id=msg.msg_id,
+            )
+            bus.emit("msg.send", sent, node=msg.src, delivered=delivered,
+                     **fields)
+            bus.emit("msg.deliver", delivered, node=msg.dst, sent=sent,
+                     **fields)
 
     def send(self, msg: Message) -> None:
         """Inject ``msg``; schedules its delivery at the destination."""
@@ -100,26 +195,26 @@ class WormholeMesh:
 
         if msg.src == msg.dst:
             # Node-local: cache <-> local memory over the node bus.
+            done = now + timing.local_access
             self.stats.record(msg, flits, timing.local_access, local=True)
-            if self.observer is not None:
-                self.observer(msg, now, now + timing.local_access)
-            self.sim.schedule(timing.local_access, handler, msg)
-            return
+        else:
+            serialize = flits * timing.flit_cycles
+            # Entry-port queuing at the source.
+            inject = max(now, self._entry_free[msg.src])
+            self._entry_free[msg.src] = inject + serialize
+            # Wormhole transit.
+            hops = self.topology.distance(msg.src, msg.dst)
+            head_arrival = inject + hops * timing.hop_cycles
+            tail_arrival = head_arrival + (flits - 1) * timing.flit_cycles
+            # Exit-port queuing at the destination.
+            ready = max(tail_arrival, self._exit_free[msg.dst])
+            self._exit_free[msg.dst] = ready + serialize
+            done = ready + serialize
+            self.stats.record(msg, flits, done - now, local=False)
 
-        serialize = flits * timing.flit_cycles
-        # Entry-port queuing at the source.
-        inject = max(now, self._entry_free[msg.src])
-        self._entry_free[msg.src] = inject + serialize
-        # Wormhole transit.
-        hops = self.topology.distance(msg.src, msg.dst)
-        head_arrival = inject + hops * timing.hop_cycles
-        tail_arrival = head_arrival + (flits - 1) * timing.flit_cycles
-        # Exit-port queuing at the destination.
-        ready = max(tail_arrival, self._exit_free[msg.dst])
-        self._exit_free[msg.dst] = ready + serialize
-        done = ready + serialize
-
-        self.stats.record(msg, flits, done - now, local=False)
-        if self.observer is not None:
-            self.observer(msg, now, done)
+        breakdown = getattr(msg.txn, "breakdown", None)
+        if breakdown is not None:
+            breakdown.credit("network", done)
+        if self.observer is not None or self.events.active:
+            self._observe(msg, now, done)
         self.sim.schedule(done - now, handler, msg)

@@ -1,0 +1,50 @@
+"""repro.obs — the cross-cutting observability layer.
+
+Three pillars (see ``docs/observability.md``):
+
+* :mod:`repro.obs.registry` — the unified metrics registry every
+  component registers its counters in (``machine.registry``);
+* :mod:`repro.obs.events` / :mod:`repro.obs.exporters` — the structured
+  event bus (``machine.events``) with text / JSONL / Chrome-trace
+  exporters;
+* :mod:`repro.obs.latency` — per-transaction cycle attribution
+  (network / queue / memory / controller), aggregated per
+  primitive × policy.
+
+:mod:`repro.obs.schema` defines the stable ``repro.run/1`` JSON envelope
+all ``--json`` output uses.
+"""
+
+from .events import EVENT_KINDS, Event, EventBus, EventRecorder
+from .exporters import (
+    export_events,
+    render_timeline,
+    to_chrome_trace,
+    to_jsonl,
+)
+from .latency import CATEGORIES, LatencyStats, LatencyTracker, TxnBreakdown
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .schema import SCHEMA, dump_run, make_run_payload, validate_run_payload
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventBus",
+    "Event",
+    "EventRecorder",
+    "EVENT_KINDS",
+    "render_timeline",
+    "to_jsonl",
+    "to_chrome_trace",
+    "export_events",
+    "TxnBreakdown",
+    "LatencyTracker",
+    "LatencyStats",
+    "CATEGORIES",
+    "SCHEMA",
+    "make_run_payload",
+    "validate_run_payload",
+    "dump_run",
+]

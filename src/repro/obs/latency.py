@@ -1,0 +1,150 @@
+"""Per-transaction latency breakdown.
+
+Each requester transaction's end-to-end cycles are attributed to four
+categories along its serialized path:
+
+* ``network`` — flight time (including entry/exit-port queuing) of the
+  transaction's messages;
+* ``queue`` — waiting in a memory module's FIFO before service began;
+* ``memory`` — occupancy of the memory module (directory + DRAM work);
+* ``controller`` — requester-side controller occupancy on completion.
+
+Attribution uses a cursor over simulation time: every contribution
+credits only the span past the last accounted cycle, so overlapping
+work (an invalidation multicast, acks racing the data reply) is never
+double-counted and the categories **sum exactly** to the transaction's
+end-to-end latency — the invariant the test suite asserts.  Idle gaps
+not claimed by any component are folded into the next segment.
+
+:class:`LatencyTracker` aggregates finished breakdowns per
+``primitive × policy`` and reports p50/p95/max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CATEGORIES", "TxnBreakdown", "LatencyStats", "LatencyTracker"]
+
+CATEGORIES = ("network", "queue", "memory", "controller")
+
+
+class TxnBreakdown:
+    """Cycle attribution for one in-flight transaction."""
+
+    __slots__ = ("start", "cursor", "parts")
+
+    def __init__(self, start: int) -> None:
+        self.start = start
+        self.cursor = start
+        self.parts: dict[str, int] = {}
+
+    def credit(self, category: str, end: int) -> None:
+        """Attribute cycles up to ``end`` to ``category``.
+
+        Only the span beyond the current cursor is credited; calls whose
+        interval is already covered (parallel messages) add nothing.
+        """
+        if end > self.cursor:
+            self.parts[category] = self.parts.get(category, 0) + end - self.cursor
+            self.cursor = end
+
+    @property
+    def total(self) -> int:
+        """Cycles accounted so far (== cursor - start, by construction)."""
+        return self.cursor - self.start
+
+
+def _percentile(sorted_values: list[int], p: float) -> int:
+    """Nearest-rank percentile of a pre-sorted list."""
+    if not sorted_values:
+        return 0
+    rank = max(1, int(round(p / 100.0 * len(sorted_values))))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class LatencyStats:
+    """Aggregated breakdowns for one (primitive, policy) key."""
+
+    count: int = 0
+    totals: list[int] = field(default_factory=list)
+    by_category: dict[str, int] = field(default_factory=dict)
+
+    def note(self, breakdown: TxnBreakdown) -> None:
+        """Fold one finished transaction in."""
+        self.count += 1
+        self.totals.append(breakdown.total)
+        for category, cycles in breakdown.parts.items():
+            self.by_category[category] = (
+                self.by_category.get(category, 0) + cycles
+            )
+
+    @property
+    def mean(self) -> float:
+        """Mean end-to-end cycles."""
+        return sum(self.totals) / self.count if self.count else 0.0
+
+    def percentiles(self) -> dict[str, int]:
+        """p50/p95/max of end-to-end cycles."""
+        ordered = sorted(self.totals)
+        return {
+            "p50": _percentile(ordered, 50),
+            "p95": _percentile(ordered, 95),
+            "max": ordered[-1] if ordered else 0,
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-able summary of this key."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            **self.percentiles(),
+            "by_category": {
+                c: self.by_category.get(c, 0) for c in CATEGORIES
+                if self.by_category.get(c, 0)
+            },
+        }
+
+
+class LatencyTracker:
+    """Breakdowns of every completed transaction, per primitive × policy."""
+
+    def __init__(self) -> None:
+        self._keys: dict[tuple[str, str], LatencyStats] = {}
+
+    def note(self, kind: str, policy: str, breakdown: TxnBreakdown) -> None:
+        """Record one completed transaction."""
+        stats = self._keys.get((kind, policy))
+        if stats is None:
+            stats = self._keys[(kind, policy)] = LatencyStats()
+        stats.note(breakdown)
+
+    def get(self, kind: str, policy: str) -> LatencyStats | None:
+        """The aggregate for one key, or None."""
+        return self._keys.get((kind, policy))
+
+    def keys(self) -> list[tuple[str, str]]:
+        """All (primitive, policy) keys seen, sorted."""
+        return sorted(self._keys)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-able map ``"kind/policy" -> summary``."""
+        return {
+            f"{kind}/{policy}": stats.snapshot()
+            for (kind, policy), stats in sorted(self._keys.items())
+        }
+
+    def render(self) -> str:
+        """A readable table of the breakdown (for ``repro stats``)."""
+        lines = ["latency breakdown (cycles): primitive/policy  "
+                 "n  mean  p50  p95  max  [network/queue/memory/controller]"]
+        for (kind, policy), stats in sorted(self._keys.items()):
+            pct = stats.percentiles()
+            cats = "/".join(str(stats.by_category.get(c, 0)) for c in CATEGORIES)
+            lines.append(
+                f"{kind + '/' + policy:24s} {stats.count:5d} "
+                f"{stats.mean:8.1f} {pct['p50']:5d} {pct['p95']:5d} "
+                f"{pct['max']:5d}  [{cats}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""The stable machine-readable run schema.
+
+Every ``--json`` emission — CLI subcommands, the benchmark suite, the
+``stats`` subcommand — wraps its payload in one envelope so downstream
+tooling (perf-trajectory dashboards, ``BENCH_*.json`` history) can parse
+any run without knowing which experiment produced it:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.run/1",
+      "experiment": "table1",
+      "version": "1.0.0",
+      "params": {"nodes": 64, "turns": 6},
+      "results": { ... experiment-specific ... },
+      "metrics": { ... optional registry snapshot ... },
+      "latency": { ... optional breakdown summary ... }
+    }
+
+``results`` content per experiment is documented in
+``docs/observability.md``.  The envelope is validated (no external
+dependency) by :func:`validate_run_payload`; bump :data:`SCHEMA` if the
+envelope ever changes shape.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping
+
+__all__ = ["SCHEMA", "make_run_payload", "validate_run_payload", "dump_run"]
+
+SCHEMA = "repro.run/1"
+
+
+def make_run_payload(
+    experiment: str,
+    params: Mapping[str, Any],
+    results: Mapping[str, Any],
+    metrics: Mapping[str, Any] | None = None,
+    latency: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble one schema-stable run document."""
+    from .. import __version__
+
+    payload: dict[str, Any] = {
+        "schema": SCHEMA,
+        "experiment": experiment,
+        "version": __version__,
+        "params": dict(params),
+        "results": dict(results),
+    }
+    if metrics is not None:
+        payload["metrics"] = dict(metrics)
+    if latency is not None:
+        payload["latency"] = dict(latency)
+    return payload
+
+
+def validate_run_payload(
+    payload: Any, experiment: str | None = None
+) -> dict[str, Any]:
+    """Check the envelope; return the payload or raise ``ValueError``.
+
+    Accepts a dict or a JSON string.  Validates the required keys, their
+    types, and (optionally) the experiment name; ``results`` internals
+    stay experiment-specific by design.
+    """
+    if isinstance(payload, (str, bytes)):
+        payload = json.loads(payload)
+    if not isinstance(payload, dict):
+        raise ValueError(f"run payload must be an object, got {type(payload)}")
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported schema {payload.get('schema')!r}, want {SCHEMA!r}"
+        )
+    for key, typ in (
+        ("experiment", str),
+        ("version", str),
+        ("params", dict),
+        ("results", dict),
+    ):
+        if not isinstance(payload.get(key), typ):
+            raise ValueError(f"run payload field {key!r} missing or not {typ.__name__}")
+    for key in ("metrics", "latency"):
+        if key in payload and not isinstance(payload[key], dict):
+            raise ValueError(f"run payload field {key!r} must be an object")
+    if experiment is not None and payload["experiment"] != experiment:
+        raise ValueError(
+            f"expected experiment {experiment!r}, got {payload['experiment']!r}"
+        )
+    return payload
+
+
+def dump_run(payload: Mapping[str, Any], path) -> None:
+    """Write a validated run document to ``path``."""
+    document = validate_run_payload(dict(payload))
+    pathlib.Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")

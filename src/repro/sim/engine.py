@@ -16,6 +16,7 @@ import heapq
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..obs.registry import MetricsRegistry
 
 __all__ = ["Simulator"]
 
@@ -23,12 +24,22 @@ __all__ = ["Simulator"]
 class Simulator:
     """A deterministic discrete-event simulator with an integer clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._now: int = 0
         self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
         self._seq: int = 0
         self._running: bool = False
-        self.events_processed: int = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._events_processed = self.registry.counter("sim.events_processed")
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed (registry: ``sim.events_processed``)."""
+        return self._events_processed.value
+
+    @events_processed.setter
+    def events_processed(self, value: int) -> None:
+        self._events_processed.value = value
 
     @property
     def now(self) -> int:
@@ -78,7 +89,7 @@ class Simulator:
                 self._now = time
                 fn(*args)
                 executed += 1
-                self.events_processed += 1
+                self._events_processed.inc()
                 if max_events is not None and executed > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely livelock"

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
+from ..obs.latency import LatencyTracker, TxnBreakdown
+from ..obs.registry import MetricsRegistry
 from .contention import ContentionTracker
 from .writerun import WriteRunTracker
 
@@ -16,15 +19,30 @@ class MachineStats:
     """All cross-cutting counters of one simulation.
 
     Component-local counters (cache hit rates, memory queue waits, network
-    flits) live on the components; this object holds the sharing-pattern
-    statistics the paper's evaluation is built on, plus per-transaction
-    serialized-message accounting.
+    flits) live on the components (registry-backed; see
+    :mod:`repro.obs.registry`); this object holds the sharing-pattern
+    statistics the paper's evaluation is built on, per-transaction
+    serialized-message accounting, and the per-transaction latency
+    breakdown tracker.
+
+    When attached to a registry (every :class:`~repro.machine.machine.
+    Machine` does this), transaction counts and chain totals are also
+    published as ``txn.<kind>.count`` / ``txn.<kind>.chain`` so they can
+    be snapshotted and exported with everything else.
     """
 
     contention: ContentionTracker = field(default_factory=ContentionTracker)
     writerun: WriteRunTracker = field(default_factory=WriteRunTracker)
     transactions: Counter = field(default_factory=Counter)
     chain_total: Counter = field(default_factory=Counter)
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+
+    def __post_init__(self) -> None:
+        self._registry: Optional[MetricsRegistry] = None
+
+    def attach_registry(self, registry: MetricsRegistry) -> None:
+        """Mirror transaction accounting into ``registry`` (``txn.*``)."""
+        self._registry = registry
 
     def note_access(self, addr: int, pid: int, is_write: bool) -> None:
         """Record a program-level access for write-run tracking."""
@@ -34,6 +52,15 @@ class MachineStats:
         """Record a completed requester transaction and its chain depth."""
         self.transactions[kind] += 1
         self.chain_total[kind] += chain
+        if self._registry is not None:
+            self._registry.counter(f"txn.{kind}.count").inc()
+            self._registry.counter(f"txn.{kind}.chain").inc(chain)
+
+    def note_txn_latency(
+        self, kind: str, policy: str, breakdown: TxnBreakdown
+    ) -> None:
+        """Record one transaction's finished latency breakdown."""
+        self.latency.note(kind, policy, breakdown)
 
     def mean_chain(self, kind: str) -> float:
         """Mean serialized messages for transactions of ``kind``."""

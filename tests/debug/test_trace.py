@@ -87,3 +87,22 @@ def test_chained_observers_both_fire():
     second = ProtocolTracer(m)   # chains onto the first
     run_one(m, 0, put, addr, 1)
     assert len(first) == len(second) > 0
+
+
+def test_detach_out_of_order():
+    # Regression: the seed tracer restored mesh.observer on detach, so
+    # detaching an earlier tracer silently disconnected every later one.
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+    first = ProtocolTracer(m)
+    second = ProtocolTracer(m)
+    third = ProtocolTracer(m)
+    run_one(m, 0, put, addr, 1)
+    baseline = len(third)
+    assert baseline > 0
+    second.detach()
+    first.detach()
+    first.detach()  # idempotent
+    run_one(m, 2, put, addr, 2)
+    assert len(third) > baseline
+    assert len(first) == len(second) == baseline

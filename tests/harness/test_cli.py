@@ -50,3 +50,73 @@ def test_out_directory_written(tmp_path):
     assert code == 0
     assert (tmp_path / "figure3.txt").exists()
     assert "FAP/UNC" in (tmp_path / "figure3.txt").read_text()
+
+
+def test_table1_json_after_subcommand(tmp_path):
+    from repro.obs.schema import validate_run_payload
+
+    out = tmp_path / "table1.json"
+    code, _ = run_cli(["table1", "--json", str(out)])
+    assert code == 0
+    payload = validate_run_payload(out.read_text(), experiment="table1")
+    assert payload["results"]["match"] is True
+    assert payload["results"]["measured"]["INV to remote exclusive"] == 4
+
+
+def test_figure3_json_schema(tmp_path):
+    from repro.obs.schema import validate_run_payload
+
+    out = tmp_path / "fig3.json"
+    code, _ = run_cli(["--nodes", "4", "--turns", "1", "figure3",
+                       "--json", str(out)])
+    assert code == 0
+    payload = validate_run_payload(out.read_text(), experiment="figure3")
+    assert payload["params"]["nodes"] == 4
+    assert payload["results"]["panels"]
+
+
+def test_stats_subcommand(tmp_path):
+    from repro.obs.schema import validate_run_payload
+
+    out = tmp_path / "stats.json"
+    code, text = run_cli(["--nodes", "4", "--turns", "2", "stats",
+                          "figure3", "--json", str(out)])
+    assert code == 0
+    assert "net.messages" in text
+    assert "latency breakdown" in text
+    payload = validate_run_payload(out.read_text())
+    assert "metrics" in payload and "latency" in payload
+    assert payload["metrics"]["net.messages"] > 0
+
+
+def test_trace_subcommand_formats(tmp_path):
+    import json
+
+    code, text = run_cli(["--nodes", "4", "trace", "table1"])
+    assert code == 0
+    assert "GETX" in text
+
+    code, text = run_cli(["--nodes", "4", "trace", "table1",
+                          "--format", "chrome"])
+    assert code == 0
+    doc = json.loads(text)
+    assert all("ph" in e and "ts" in e and "pid" in e
+               for e in doc["traceEvents"])
+
+    code, text = run_cli(["--nodes", "4", "trace", "table1",
+                          "--format", "jsonl"])
+    assert code == 0
+    assert all(json.loads(line) for line in text.splitlines())
+
+
+def test_trace_block_filter():
+    import json
+
+    code, text = run_cli(["--nodes", "4", "trace", "table1",
+                          "--block", "99999", "--format", "jsonl"])
+    assert code == 0
+    assert text.strip() == ""  # nothing touches that block
+    code, text = run_cli(["--nodes", "4", "trace", "table1",
+                          "--format", "jsonl"])
+    blocks = {json.loads(line).get("block") for line in text.splitlines()}
+    assert blocks  # the unfiltered trace does see blocks

@@ -1,0 +1,95 @@
+"""Exporters: text timeline, JSONL, Chrome trace-event JSON."""
+
+import json
+
+import pytest
+
+from repro import SyncPolicy
+from repro.obs.events import Event, EventRecorder
+from repro.obs.exporters import (
+    export_events,
+    render_timeline,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+from tests.conftest import make_machine, run_one
+
+
+def _sample_events():
+    return [
+        Event("msg.send", 0, node=2,
+              data={"mtype": "GETX", "src": 2, "dst": 1, "unit": "home",
+                    "block": 3, "chain": 1, "requester": 2, "msg_id": 0,
+                    "delivered": 5}),
+        Event("msg.deliver", 5, node=1,
+              data={"mtype": "GETX", "src": 2, "dst": 1, "unit": "home",
+                    "block": 3, "chain": 1, "requester": 2, "msg_id": 0,
+                    "sent": 0}),
+        Event("cache.transition", 7, node=2,
+              data={"block": 3, "frm": "invalid", "to": "exclusive"}),
+    ]
+
+
+def test_render_timeline():
+    text = render_timeline(_sample_events(), title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert len(lines) == 4
+    assert "GETX" in lines[1]
+    assert "cache.transition" in lines[3]
+    assert render_timeline([]).startswith("event trace: 0 events")
+
+
+def test_jsonl_one_valid_object_per_line():
+    text = to_jsonl(_sample_events())
+    rows = [json.loads(line) for line in text.splitlines()]
+    assert len(rows) == 3
+    assert rows[0]["kind"] == "msg.send"
+    assert rows[0]["ts"] == 0
+    assert rows[0]["node"] == 2
+    assert rows[0]["mtype"] == "GETX"
+    assert rows[2]["to"] == "exclusive"
+
+
+def test_chrome_trace_shape():
+    doc = json.loads(to_chrome_trace(_sample_events()))
+    events = doc["traceEvents"]
+    # msg.deliver is folded into the msg.send slice.
+    assert len(events) == 2
+    for e in events:
+        assert "ph" in e and "ts" in e and "pid" in e
+    slice_, instant = events
+    assert slice_["ph"] == "X"
+    assert slice_["name"] == "GETX"
+    assert slice_["dur"] == 5
+    assert slice_["tid"] == 2
+    assert instant["ph"] == "i"
+    assert instant["name"] == "cache.transition"
+
+
+def test_chrome_trace_from_real_machine():
+    m = make_machine(4)
+    rec = EventRecorder(m.events)
+    addr = m.alloc_sync(SyncPolicy.INV, home=1)
+
+    def put(p, addr):
+        yield p.store(addr, 1)
+
+    run_one(m, 0, put, addr)
+    doc = json.loads(to_chrome_trace(rec.events))
+    assert doc["traceEvents"], "a store transaction must produce events"
+    for e in doc["traceEvents"]:
+        assert "ph" in e and "ts" in e and "pid" in e
+        assert e["ph"] in ("X", "i")
+        if e["ph"] == "X":
+            assert e["dur"] >= 0
+
+
+def test_export_events_dispatch():
+    events = _sample_events()
+    assert export_events(events, "text").splitlines()[0].startswith("event")
+    assert json.loads(export_events(events, "jsonl").splitlines()[0])
+    assert json.loads(export_events(events, "chrome"))["traceEvents"]
+    with pytest.raises(ValueError):
+        export_events(events, "xml")

@@ -1,0 +1,137 @@
+"""Metrics registry: snapshot/diff round-trip, histogram buckets, JSON."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_create_or_return():
+    reg = MetricsRegistry()
+    a = reg.counter("cache.0.hits")
+    b = reg.counter("cache.0.hits")
+    assert a is b
+    a.inc()
+    a.inc(3)
+    assert b.value == 4
+
+
+def test_type_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_names_prefix_filter():
+    reg = MetricsRegistry()
+    for name in ("cache.0.hits", "cache.0.misses", "cache.10.hits",
+                 "cachet.weird", "net.flits"):
+        reg.counter(name)
+    assert reg.names("cache.0") == ["cache.0.hits", "cache.0.misses"]
+    assert reg.names("cache") == ["cache.0.hits", "cache.0.misses",
+                                  "cache.10.hits"]
+    assert reg.names() == sorted(
+        ["cache.0.hits", "cache.0.misses", "cache.10.hits",
+         "cachet.weird", "net.flits"])
+
+
+def test_snapshot_diff_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("net.messages").inc(5)
+    reg.gauge("queue.depth").set(3)
+    hist = reg.histogram("net.latency")
+    for v in (1, 2, 9):
+        hist.observe(v)
+    before = reg.snapshot()
+
+    reg.counter("net.messages").inc(7)
+    reg.gauge("queue.depth").set(1)
+    hist.observe(9)
+    after = reg.snapshot()
+
+    delta = MetricsRegistry.diff(before, after)
+    assert delta["net.messages"] == 7
+    assert delta["queue.depth"] == -2
+    assert delta["net.latency"]["count"] == 1
+    assert delta["net.latency"]["total"] == 9
+    assert delta["net.latency"]["buckets"] == {"4": 1}
+
+    # Diffing a snapshot against itself is all-zero.
+    zero = MetricsRegistry.diff(after, after)
+    assert zero["net.messages"] == 0
+    assert zero["net.latency"]["count"] == 0
+    assert zero["net.latency"]["buckets"] == {}
+
+    # Metrics absent from `before` diff against zero.
+    fresh = MetricsRegistry.diff({}, after)
+    assert fresh["net.messages"] == 12
+    assert fresh["net.latency"]["count"] == 4
+
+
+def test_histogram_bucket_boundaries():
+    # Bucket 0 is exactly 0; bucket b covers [2**(b-1), 2**b - 1].
+    assert Histogram.bucket_of(0) == 0
+    assert Histogram.bucket_of(1) == 1
+    assert Histogram.bucket_of(2) == 2
+    assert Histogram.bucket_of(3) == 2
+    assert Histogram.bucket_of(4) == 3
+    assert Histogram.bucket_of(7) == 3
+    assert Histogram.bucket_of(8) == 4
+    assert Histogram.bucket_of(1023) == 10
+    assert Histogram.bucket_of(1024) == 11
+    for b in range(12):
+        lo, hi = Histogram.bucket_bounds(b)
+        assert Histogram.bucket_of(lo) == b
+        assert Histogram.bucket_of(hi) == b
+        if b:
+            assert Histogram.bucket_of(lo - 1) == b - 1
+
+
+def test_histogram_rejects_negative():
+    h = Histogram("h")
+    with pytest.raises(ValueError):
+        h.observe(-1)
+
+
+def test_histogram_stats_and_percentile():
+    h = Histogram("lat")
+    for v in (0, 1, 2, 3, 100):
+        h.observe(v)
+    assert h.count == 5
+    assert h.total == 106
+    assert h.min == 0
+    assert h.max == 100
+    assert h.mean == pytest.approx(21.2)
+    # Nearest-rank over buckets: rank 2 of 5 lands in bucket 1 (value 1).
+    assert h.percentile(50) == 1
+    # Rank 4 lands in bucket 2, reported as its upper bound (3).
+    assert h.percentile(80) == 3
+    assert h.percentile(100) == 100  # clamped to the observed max
+    snap = h.snapshot()
+    assert snap["count"] == 5
+    assert sum(snap["buckets"].values()) == 5
+
+
+def test_to_json_loads_and_matches_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("a.b").inc(2)
+    reg.histogram("a.h").observe(5)
+    doc = json.loads(reg.to_json())
+    assert doc == reg.snapshot()
+    scoped = json.loads(reg.to_json("a.h"))
+    assert list(scoped) == ["a.h"]
+
+
+def test_iteration_and_len():
+    reg = MetricsRegistry()
+    reg.counter("b")
+    reg.counter("a")
+    assert len(reg) == 2
+    assert [m.name for m in reg] == ["a", "b"]
+    assert isinstance(reg.get("a"), Counter)
+    assert reg.get("missing") is None
+    assert isinstance(reg.gauge("g"), Gauge)
