@@ -15,13 +15,13 @@ the paper's qualitative findings:
 from repro.harness.ablation import run_dropcopy_ablation
 from repro.harness.report import render_table
 
-from .conftest import BENCH_NODES, BENCH_TURNS, publish, publish_json
+from .conftest import BENCH_NODES, BENCH_TURNS, SWEEP_OPTS, publish, publish_json
 
 
 def test_dropcopy_ablation(benchmark, bench_config):
     outcome = benchmark.pedantic(
         run_dropcopy_ablation, args=(bench_config,),
-        kwargs={"turns": BENCH_TURNS}, rounds=1, iterations=1,
+        kwargs={"turns": BENCH_TURNS, **SWEEP_OPTS}, rounds=1, iterations=1,
     )
     table = outcome.table
     rows = [

@@ -13,7 +13,7 @@ from repro.harness.ablation import (
 )
 from repro.harness.report import render_table
 
-from .conftest import BENCH_NODES, BENCH_TURNS, publish, publish_json
+from .conftest import BENCH_NODES, BENCH_TURNS, SWEEP_OPTS, publish, publish_json
 
 
 def test_reservation_strategies(benchmark, bench_config):
@@ -21,7 +21,7 @@ def test_reservation_strategies(benchmark, bench_config):
     outcome = benchmark.pedantic(
         run_reservation_ablation, args=(bench_config,),
         kwargs={"contention": contention, "turns": BENCH_TURNS,
-                "reservation_limit": 4},
+                "reservation_limit": 4, **SWEEP_OPTS},
         rounds=1, iterations=1,
     )
     results = outcome.results

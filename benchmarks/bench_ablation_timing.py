@@ -15,10 +15,11 @@ from dataclasses import replace
 from repro import SyncPolicy
 from repro.apps.synthetic import SyntheticSpec, run_lockfree_counter
 from repro.config import TimingConfig
+from repro.harness.parallel import make_point, run_sweep
 from repro.harness.report import render_table
 from repro.sync.variant import PrimitiveVariant
 
-from .conftest import BENCH_NODES, BENCH_TURNS, publish, publish_json
+from .conftest import BENCH_NODES, BENCH_TURNS, SWEEP_OPTS, publish, publish_json
 
 TIMINGS = {
     "default": TimingConfig(),
@@ -42,18 +43,24 @@ def test_timing_sensitivity(benchmark, bench_config):
     long_runs = SyntheticSpec(contention=1, write_run=10.0,
                               turns=BENCH_TURNS)
 
+    panels = (("contended", contended), ("a=10", long_runs))
+
     def sweep():
-        table = {}
+        keys = []
+        points = []
         for timing_name, timing in TIMINGS.items():
             config = replace(bench_config, timing=timing)
             for var_name, variant in VARIANTS.items():
-                table[(timing_name, var_name, "contended")] = \
-                    run_lockfree_counter(variant, contended,
-                                         config).avg_cycles
-                table[(timing_name, var_name, "a=10")] = \
-                    run_lockfree_counter(variant, long_runs,
-                                         config).avg_cycles
-        return table
+                for panel_name, spec in panels:
+                    keys.append((timing_name, var_name, panel_name))
+                    points.append(make_point(
+                        run_lockfree_counter, variant=variant, spec=spec,
+                        config=config,
+                        label=f"timing: {timing_name} {var_name} {panel_name}",
+                    ))
+        outcomes = run_sweep(points, **SWEEP_OPTS)
+        return {key: outcome.result.avg_cycles
+                for key, outcome in zip(keys, outcomes)}
 
     table = benchmark.pedantic(sweep, rounds=1, iterations=1)
 

@@ -9,7 +9,7 @@ access, plus the average write-run lengths the paper quotes (LocusRoute
 from repro.harness.figure2 import run_figure2
 from repro.harness.report import render_histogram, render_table
 
-from .conftest import BENCH_NODES, publish, publish_json
+from .conftest import BENCH_NODES, SWEEP_OPTS, publish, publish_json
 
 
 def _mean(histogram):
@@ -18,7 +18,8 @@ def _mean(histogram):
 
 def test_figure2(benchmark, bench_config):
     result = benchmark.pedantic(
-        run_figure2, args=(bench_config,), rounds=1, iterations=1
+        run_figure2, args=(bench_config,), kwargs=dict(SWEEP_OPTS),
+        rounds=1, iterations=1,
     )
 
     sections = []

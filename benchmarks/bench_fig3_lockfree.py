@@ -7,13 +7,13 @@ the paper's headline shape claims asserted.
 
 from repro.harness.figures import render_figure, run_figure3
 
-from .conftest import BENCH_TURNS, publish, publish_json
+from .conftest import BENCH_TURNS, SWEEP_OPTS, publish, publish_json
 
 
 def test_figure3(benchmark, bench_config):
     panels = benchmark.pedantic(
         run_figure3, args=(bench_config,),
-        kwargs={"turns": BENCH_TURNS}, rounds=1, iterations=1,
+        kwargs={"turns": BENCH_TURNS, **SWEEP_OPTS}, rounds=1, iterations=1,
     )
     publish("figure3", render_figure(
         panels, "Figure 3: lock-free counter, average cycles per update"))

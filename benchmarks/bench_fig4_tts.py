@@ -2,13 +2,13 @@
 
 from repro.harness.figures import render_figure, run_figure4
 
-from .conftest import BENCH_TURNS, publish, publish_json
+from .conftest import BENCH_TURNS, SWEEP_OPTS, publish, publish_json
 
 
 def test_figure4(benchmark, bench_config):
     panels = benchmark.pedantic(
         run_figure4, args=(bench_config,),
-        kwargs={"turns": BENCH_TURNS}, rounds=1, iterations=1,
+        kwargs={"turns": BENCH_TURNS, **SWEEP_OPTS}, rounds=1, iterations=1,
     )
     publish("figure4", render_figure(
         panels, "Figure 4: TTS-lock counter, average cycles per update"))

@@ -7,13 +7,13 @@ to cost roughly an extra miss per operation relative to native CAS.
 
 from repro.harness.figures import render_figure, run_figure5
 
-from .conftest import BENCH_TURNS, publish, publish_json
+from .conftest import BENCH_TURNS, SWEEP_OPTS, publish, publish_json
 
 
 def test_figure5(benchmark, bench_config):
     panels = benchmark.pedantic(
         run_figure5, args=(bench_config,),
-        kwargs={"turns": BENCH_TURNS}, rounds=1, iterations=1,
+        kwargs={"turns": BENCH_TURNS, **SWEEP_OPTS}, rounds=1, iterations=1,
     )
     publish("figure5", render_figure(
         panels, "Figure 5: MCS-lock counter, average cycles per update"))

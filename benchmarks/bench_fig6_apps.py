@@ -2,13 +2,13 @@
 
 from repro.harness.figure6 import render_figure6, run_figure6
 
-from .conftest import publish, publish_json
+from .conftest import SWEEP_OPTS, publish, publish_json
 
 
 def test_figure6(benchmark, bench_config):
     result = benchmark.pedantic(
         run_figure6, args=(bench_config,),
-        kwargs={"tclosure_size": 24}, rounds=1, iterations=1,
+        kwargs={"tclosure_size": 24, **SWEEP_OPTS}, rounds=1, iterations=1,
     )
     publish("figure6", render_figure6(result))
     publish_json("figure6", {"apps": {

@@ -3,11 +3,12 @@
 from repro.harness.report import render_table
 from repro.harness.table1 import TABLE1_EXPECTED, run_table1
 
-from .conftest import publish, publish_json
+from .conftest import SWEEP_OPTS, publish, publish_json
 
 
 def test_table1(benchmark):
-    measured = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    measured = benchmark.pedantic(run_table1, kwargs=dict(SWEEP_OPTS),
+                                  rounds=1, iterations=1)
 
     rows = [
         [label, TABLE1_EXPECTED[label], measured[label]]

@@ -11,6 +11,10 @@ CI or laptops can shrink the runs:
 * ``REPRO_BENCH_TURNS``  — synthetic-app turns per panel (default 6).
 * ``REPRO_BENCH_JSON``   — directory for the JSON documents
   (default ``benchmarks/results/``).
+* ``REPRO_BENCH_JOBS``   — worker processes per sweep (default 1:
+  serial; results are identical at any setting).
+* ``REPRO_BENCH_CACHE``  — directory for the content-addressed result
+  cache (default: disabled, so benchmarks measure real simulations).
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from typing import Any, Mapping, Optional
 import pytest
 
 from repro import SimConfig
+from repro.harness.parallel import ResultCache
 from repro.obs.schema import dump_run, make_run_payload
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -29,6 +34,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "64"))
 BENCH_TURNS = int(os.environ.get("REPRO_BENCH_TURNS", "6"))
 JSON_DIR = pathlib.Path(os.environ.get("REPRO_BENCH_JSON", RESULTS_DIR))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+_BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "")
+
+SWEEP_OPTS: dict[str, Any] = {"jobs": BENCH_JOBS}
+if _BENCH_CACHE:
+    SWEEP_OPTS["cache"] = ResultCache(_BENCH_CACHE)
 
 
 @pytest.fixture(scope="session")

@@ -46,7 +46,7 @@ def demo_aba() -> None:
     machine.spawn(0, victim)
     machine.spawn(4, interferer)
     machine.run()
-    print(f"   value is back to 7, a CAS(7->99) would wrongly succeed;")
+    print("   value is back to 7, a CAS(7->99) would wrongly succeed;")
     print(f"   serial-number SC correctly failed: "
           f"{not outcome['sc_succeeded']}\n")
     assert not outcome["sc_succeeded"]
@@ -109,7 +109,7 @@ def demo_stack() -> None:
     machine.spawn(2, popper, 3)
     machine.spawn(3, popper, 3)
     machine.run(max_events=5_000_000)
-    print(f"   pushed 1..6 from two processors, popped from two others:")
+    print("   pushed 1..6 from two processors, popped from two others:")
     print(f"   popped = {sorted(popped)}\n")
     assert sorted(popped) == [1, 2, 3, 4, 5, 6]
 

@@ -7,6 +7,7 @@
     $ python -m repro figure2 --out results/
     $ python -m repro ablation-reservations
     $ python -m repro table1 --json table1.json
+    $ python -m repro figure3 --jobs 4
     $ python -m repro stats figure3
     $ python -m repro trace table1 --block 0 --format chrome
 
@@ -14,6 +15,16 @@ Every subcommand prints the regenerated table/figure; ``--out DIR`` also
 writes it to ``DIR/<name>.txt``, and ``--json OUT`` writes the result as
 a schema-stable JSON document (envelope ``repro.run/1``; see
 :mod:`repro.obs.schema` and ``docs/observability.md``).
+
+Experiment sweeps run through the parallel executor
+(:mod:`repro.harness.parallel`): ``--jobs N`` shards their independent
+simulation points over ``N`` worker processes (results are byte-identical
+at any job count), and a content-addressed result cache under
+``$REPRO_CACHE_DIR`` / ``~/.cache/repro`` (or ``--cache-dir``) makes
+re-running an unchanged point a hit instead of a re-simulation — disable
+with ``--no-cache``.  ``--progress`` (implied by ``--jobs > 1``) prints
+per-point progress lines to stderr via the sweep EventBus.  See
+``docs/parallel.md``.
 
 Two observability subcommands inspect a small *representative* run of an
 experiment instead of regenerating it in full (see
@@ -49,8 +60,10 @@ from .harness.figures import (
     run_figure5,
 )
 from .harness.instrumented import INSTRUMENTED_EXPERIMENTS, run_instrumented
+from .harness.parallel import ResultCache, attach_progress_printer
 from .harness.report import render_histogram, render_table
 from .harness.table1 import TABLE1_EXPECTED, run_table1
+from .obs.events import EventBus
 from .obs.exporters import export_events, to_jsonl
 from .obs.schema import dump_run, make_run_payload
 
@@ -77,6 +90,21 @@ def _add_common(parser: argparse.ArgumentParser, top_level: bool) -> None:
                         help="directory to also write the rendered text to")
     parser.add_argument("--json", type=pathlib.Path, default=default(None),
                         help="write the result as repro.run/1 JSON here")
+    parser.add_argument("--jobs", type=int, default=default(1),
+                        help="worker processes for sweep points "
+                             "(default 1: serial, bit-identical results "
+                             "at any setting)")
+    parser.add_argument("--no-cache", action="store_true",
+                        default=default(False),
+                        help="disable the content-addressed result cache")
+    parser.add_argument("--cache-dir", type=pathlib.Path,
+                        default=default(None),
+                        help="result cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--progress", action="store_true",
+                        default=default(False),
+                        help="print per-point sweep progress to stderr "
+                             "(implied by --jobs > 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,6 +156,21 @@ def _config(args: argparse.Namespace) -> SimConfig:
     return SimConfig().with_nodes(args.nodes)
 
 
+def _sweep_opts(args: argparse.Namespace) -> dict[str, Any]:
+    """Executor options (jobs/cache/events) from the parsed arguments.
+
+    The cache is on by default (content-addressed under
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; any source edit
+    invalidates it); progress lines go to stderr so stdout and ``--json``
+    stay byte-identical whatever the job count.
+    """
+    events = EventBus()
+    if args.progress or args.jobs > 1:
+        attach_progress_printer(events)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return {"jobs": args.jobs, "cache": cache, "events": events}
+
+
 def _emit(
     args: argparse.Namespace,
     name: str,
@@ -153,7 +196,7 @@ def _emit(
 
 
 def _cmd_table1(args, out) -> int:
-    measured = run_table1()
+    measured = run_table1(**_sweep_opts(args))
     rows = [[label, TABLE1_EXPECTED[label], measured[label]]
             for label in TABLE1_EXPECTED]
     _emit(args, "table1", render_table(
@@ -168,7 +211,7 @@ def _cmd_table1(args, out) -> int:
 
 
 def _cmd_figure2(args, out) -> int:
-    result = run_figure2(_config(args))
+    result = run_figure2(_config(args), **_sweep_opts(args))
     sections = []
     apps_json: dict[str, Any] = {}
     for app in sorted(result.apps):
@@ -195,7 +238,8 @@ def _cmd_figure2(args, out) -> int:
 
 def _make_counter_figure(name: str, runner) -> Callable:
     def command(args, out) -> int:
-        panels = runner(_config(args), turns=args.turns)
+        panels = runner(_config(args), turns=args.turns,
+                        **_sweep_opts(args))
         _emit(args, name, render_figure(
             panels, f"{name.capitalize()}: average cycles per update"), out,
             results={"panels": [
@@ -209,7 +253,7 @@ def _make_counter_figure(name: str, runner) -> Callable:
 
 
 def _cmd_figure6(args, out) -> int:
-    result = run_figure6(_config(args))
+    result = run_figure6(_config(args), **_sweep_opts(args))
     _emit(args, "figure6", render_figure6(result), out,
           results={"apps": {
               app: [[label, cycles] for label, cycles in bars]
@@ -219,7 +263,8 @@ def _cmd_figure6(args, out) -> int:
 
 
 def _cmd_ablation_reservations(args, out) -> int:
-    outcome = run_reservation_ablation(_config(args), turns=args.turns)
+    outcome = run_reservation_ablation(_config(args), turns=args.turns,
+                                       **_sweep_opts(args))
     rows = [[strategy, round(outcome.results[strategy][0], 1),
              outcome.results[strategy][1]]
             for strategy in RESERVATION_STRATEGIES]
@@ -237,7 +282,8 @@ def _cmd_ablation_reservations(args, out) -> int:
 
 
 def _cmd_ablation_dropcopy(args, out) -> int:
-    outcome = run_dropcopy_ablation(_config(args), turns=args.turns)
+    outcome = run_dropcopy_ablation(_config(args), turns=args.turns,
+                                    **_sweep_opts(args))
     rows = [[panel] + [round(outcome.table[(panel, v)], 1)
                        for v in outcome.variants]
             for panel in outcome.panels]

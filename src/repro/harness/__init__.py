@@ -1,6 +1,17 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
 from .configs import figure_variants, policy_survey_variants
+from .parallel import (
+    PointOutcome,
+    ResultCache,
+    SweepExecutor,
+    SweepPoint,
+    code_fingerprint,
+    derive_point_seed,
+    make_point,
+    point_key,
+    run_sweep,
+)
 from .report import render_table, render_histogram
 from .table1 import run_table1, TABLE1_EXPECTED
 from .figures import (
@@ -23,6 +34,15 @@ from .ablation import (
 __all__ = [
     "figure_variants",
     "policy_survey_variants",
+    "PointOutcome",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepPoint",
+    "code_fingerprint",
+    "derive_point_seed",
+    "make_point",
+    "point_key",
+    "run_sweep",
     "render_table",
     "render_histogram",
     "run_table1",

@@ -5,22 +5,30 @@
   write serial numbers) on a contended UNC LL/SC counter.
 * :func:`run_dropcopy_ablation` — when drop_copy helps and when it
   hurts, across write-run lengths and contention, under INV and UPD.
+
+Both sweeps run their independent points through
+:mod:`repro.harness.parallel`, so ``jobs`` shards them across worker
+processes and ``cache`` memoizes them without changing the results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
 
 from ..apps.synthetic import SyntheticSpec, run_lockfree_counter
 from ..coherence.policy import SyncPolicy
 from ..config import SimConfig
-from ..machine.machine import build_machine
+from ..machine.machine import Machine, build_machine
+from ..obs.events import EventBus
 from ..sync.counters import increment
 from ..sync.variant import PrimitiveVariant
+from .parallel import ResultCache, make_point, run_sweep
 
 __all__ = [
     "ReservationAblation",
     "run_reservation_ablation",
+    "run_reservation_point",
     "DropCopyAblation",
     "run_dropcopy_ablation",
     "RESERVATION_STRATEGIES",
@@ -36,44 +44,76 @@ class ReservationAblation:
     results: dict[str, tuple[float, int]] = field(default_factory=dict)
 
 
+def run_reservation_point(
+    strategy: str,
+    contention: int,
+    turns: int,
+    reservation_limit: int,
+    config: SimConfig | None = None,
+    observe: Optional[Callable[[Machine], None]] = None,
+) -> dict[str, float | int]:
+    """Measure one reservation strategy on a contended LL/SC counter."""
+    base = config or SimConfig()
+    run_config = replace(base, reservation_strategy=strategy,
+                         reservation_limit=reservation_limit)
+    machine = build_machine(run_config)
+    if observe is not None:
+        observe(machine)
+    n_nodes = machine.n_nodes
+    variant = PrimitiveVariant("llsc", SyncPolicy.UNC)
+    counter = machine.alloc_sync(SyncPolicy.UNC, home=0)
+
+    def program(p):
+        for turn in range(turns):
+            yield p.barrier(turn, n_nodes)
+            if p.pid < contention:
+                yield from increment(p, counter, variant)
+
+    machine.spawn_all(program)
+    machine.run()
+    updates = turns * contention
+    value = machine.read_word(counter)
+    if value != updates:
+        raise AssertionError(
+            f"{strategy}: counter={value}, expected {updates}"
+        )
+    local_failures = sum(
+        node.controller.stats.sc_local_failures for node in machine.nodes
+    )
+    return {
+        "cycles_per_update": machine.now / updates,
+        "local_sc_failures": local_failures,
+    }
+
+
 def run_reservation_ablation(
     config: SimConfig,
     contention: int | None = None,
     turns: int = 6,
     reservation_limit: int = 4,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    events: Optional[EventBus] = None,
 ) -> ReservationAblation:
     """Measure each reservation strategy on a contended LL/SC counter."""
-    from dataclasses import replace
-
     n_nodes = config.machine.n_nodes
     if contention is None:
         contention = min(16, n_nodes)
+    points = [
+        make_point(run_reservation_point, config=config,
+                   label=f"reservations {strategy} c={contention}",
+                   strategy=strategy, contention=contention, turns=turns,
+                   reservation_limit=reservation_limit)
+        for strategy in RESERVATION_STRATEGIES
+    ]
+    outcomes = run_sweep(points, jobs=jobs, cache=cache, events=events)
     outcome = ReservationAblation()
-    for strategy in RESERVATION_STRATEGIES:
-        run_config = replace(config, reservation_strategy=strategy,
-                             reservation_limit=reservation_limit)
-        machine = build_machine(run_config)
-        variant = PrimitiveVariant("llsc", SyncPolicy.UNC)
-        counter = machine.alloc_sync(SyncPolicy.UNC, home=0)
-
-        def program(p):
-            for turn in range(turns):
-                yield p.barrier(turn, n_nodes)
-                if p.pid < contention:
-                    yield from increment(p, counter, variant)
-
-        machine.spawn_all(program)
-        machine.run()
-        updates = turns * contention
-        value = machine.read_word(counter)
-        if value != updates:
-            raise AssertionError(
-                f"{strategy}: counter={value}, expected {updates}"
-            )
-        local_failures = sum(
-            node.controller.stats.sc_local_failures for node in machine.nodes
+    for strategy, point_outcome in zip(RESERVATION_STRATEGIES, outcomes):
+        measured = point_outcome.result
+        outcome.results[strategy] = (
+            measured["cycles_per_update"],
+            measured["local_sc_failures"],
         )
-        outcome.results[strategy] = (machine.now / updates, local_failures)
     return outcome
 
 
@@ -86,7 +126,13 @@ class DropCopyAblation:
     variants: list[str] = field(default_factory=list)
 
 
-def run_dropcopy_ablation(config: SimConfig, turns: int = 6) -> DropCopyAblation:
+def run_dropcopy_ablation(
+    config: SimConfig,
+    turns: int = 6,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    events: Optional[EventBus] = None,
+) -> DropCopyAblation:
     """Sweep the lock-free counter with and without drop_copy."""
     contention = min(16, config.machine.n_nodes)
     specs = [
@@ -100,12 +146,20 @@ def run_dropcopy_ablation(config: SimConfig, turns: int = 6) -> DropCopyAblation
         "UPD": PrimitiveVariant("fap", SyncPolicy.UPD),
         "UPD+dc": PrimitiveVariant("fap", SyncPolicy.UPD, use_drop=True),
     }
+    points = [
+        make_point(run_lockfree_counter, variant=variant, spec=spec,
+                   config=config, label=f"dropcopy {spec_label} {var_label}")
+        for spec_label, spec in specs
+        for var_label, variant in variants.items()
+    ]
+    outcomes = iter(run_sweep(points, jobs=jobs, cache=cache, events=events))
     outcome = DropCopyAblation(
         panels=[label for label, _ in specs],
         variants=list(variants),
     )
-    for spec_label, spec in specs:
-        for var_label, variant in variants.items():
-            result = run_lockfree_counter(variant, spec, config)
-            outcome.table[(spec_label, var_label)] = result.avg_cycles
+    for spec_label, _ in specs:
+        for var_label in variants:
+            outcome.table[(spec_label, var_label)] = (
+                next(outcomes).result.avg_cycles
+            )
     return outcome

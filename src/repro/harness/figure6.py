@@ -8,14 +8,16 @@ bars as Figures 3–5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..apps.cholesky import run_cholesky
 from ..apps.locusroute import run_locusroute
 from ..apps.tclosure import run_transitive_closure
 from ..config import SimConfig
+from ..obs.events import EventBus
 from ..sync.variant import PrimitiveVariant
 from .configs import figure_variants
+from .parallel import ResultCache, make_point, run_sweep
 from .report import render_table
 
 __all__ = ["Figure6Result", "run_figure6", "render_figure6"]
@@ -41,30 +43,36 @@ def run_figure6(
     tclosure_size: int = 24,
     locusroute_wires: int | None = None,
     cholesky_columns: int | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    events: Optional[EventBus] = None,
 ) -> Figure6Result:
     """Run the three real applications under every variant.
 
     Lock-application inputs default to machine-proportional sizes (see
-    the application docstrings).
+    the application docstrings).  The variant × app points run through
+    the parallel sweep executor; ``jobs``/``cache`` shard and memoize
+    them without changing the results.
     """
     if variants is None:
         variants = figure_variants()
+    app_points = (
+        ("locusroute", run_locusroute, {"n_wires": locusroute_wires}),
+        ("cholesky", run_cholesky, {"n_columns": cholesky_columns}),
+        ("tclosure", run_transitive_closure, {"size": tclosure_size}),
+    )
+    points = [
+        make_point(runner, variant=variant, config=config,
+                   label=f"{app} {variant.label}", **kwargs)
+        for variant in variants
+        for app, runner, kwargs in app_points
+    ]
+    outcomes = iter(run_sweep(points, jobs=jobs, cache=cache, events=events))
     result = Figure6Result()
     for variant in variants:
-        runs = {
-            "locusroute": run_locusroute(
-                variant, n_wires=locusroute_wires, config=config
-            ),
-            "cholesky": run_cholesky(
-                variant, n_columns=cholesky_columns, config=config
-            ),
-            "tclosure": run_transitive_closure(
-                variant, size=tclosure_size, config=config
-            ),
-        }
-        for app, app_result in runs.items():
+        for app, _, _ in app_points:
             result.apps.setdefault(app, []).append(
-                (variant.label, app_result.cycles)
+                (variant.label, next(outcomes).result.cycles)
             )
     return result
 

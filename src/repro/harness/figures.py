@@ -14,7 +14,7 @@ Bars: the 21 variants of :func:`repro.harness.configs.figure_variants`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..apps.common import AppResult
 from ..apps.synthetic import (
@@ -24,8 +24,10 @@ from ..apps.synthetic import (
     run_tts_counter,
 )
 from ..config import SimConfig
+from ..obs.events import EventBus
 from ..sync.variant import PrimitiveVariant
 from .configs import figure_variants
+from .parallel import ResultCache, make_point, run_sweep
 from .report import render_table
 
 __all__ = [
@@ -94,19 +96,34 @@ def run_counter_figure(
     turns: int = 32,
     variants: Sequence[PrimitiveVariant] | None = None,
     specs: Sequence[SyntheticSpec] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    events: Optional[EventBus] = None,
 ) -> list[PanelResult]:
-    """Run one figure: every panel × every variant."""
+    """Run one figure: every panel × every variant.
+
+    Panel/variant points are independent simulations, so they go through
+    :func:`repro.harness.parallel.run_sweep` — ``jobs`` shards them over
+    worker processes and ``cache`` memoizes them; results are identical
+    for any ``jobs``.
+    """
     if variants is None:
         variants = figure_variants()
     if specs is None:
         specs = no_contention_panels(turns) + contention_panels(
             config.machine.n_nodes, turns
         )
+    points = [
+        make_point(runner, variant=variant, spec=spec, config=config)
+        for spec in specs
+        for variant in variants
+    ]
+    outcomes = iter(run_sweep(points, jobs=jobs, cache=cache, events=events))
     panels = []
     for spec in specs:
         panel = PanelResult(label=_panel_label(spec), spec=spec)
         for variant in variants:
-            result = runner(variant, spec, config)
+            result = next(outcomes).result
             panel.bars.append((variant.label, result.avg_cycles))
         panels.append(panel)
     return panels

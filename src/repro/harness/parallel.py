@@ -1,0 +1,619 @@
+"""Parallel sweep execution with a content-addressed result cache.
+
+Every figure and table in the paper is a cross-product of *independent*
+simulation points — (primitive variant, sharing-pattern spec, machine
+config) triples, each of which builds its own deterministic machine.
+This module turns that observation into infrastructure:
+
+* :class:`SweepPoint` — a picklable, hashable-by-content descriptor of
+  one simulation point: which runner to call (by its module-qualified
+  reference, so worker processes resolve it by import), with which
+  variant/spec/config/extra keyword arguments.
+* :func:`point_key` — a stable SHA-256 content hash of a point combined
+  with a fingerprint of the ``repro`` source tree, so a key identifies
+  "this exact simulation under this exact code".
+* :class:`ResultCache` — a content-addressed on-disk store mapping point
+  keys to their results and per-machine metrics snapshots.  Re-running
+  an unchanged point is a cache hit, not a re-simulation; editing any
+  simulator source invalidates every key at once.
+* :class:`SweepExecutor` / :func:`run_sweep` — execute a list of points
+  either serially in-process (``jobs=1``, bit-identical to the historic
+  nested-loop drivers) or sharded across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Results always come
+  back in input order, each worker's
+  :class:`~repro.obs.registry.MetricsRegistry` snapshot is merged into
+  the parent's registry, and progress is published on an
+  :class:`~repro.obs.events.EventBus` (``sweep.start`` / ``sweep.point``
+  / ``sweep.done``).
+
+Because every point carries its own config (including its RNG seed),
+``jobs=1`` and ``jobs=N`` produce byte-identical results; scheduling
+order can never leak into measurements.  :func:`derive_point_seed`
+additionally offers deterministic per-point seeds derived from the
+point's stable content hash, for sweeps that want decorrelated RNG
+streams per point regardless of execution order (the paper panels keep
+the config's own seed so historic numbers are unchanged).
+
+.. code-block:: python
+
+    points = [
+        make_point(run_lockfree_counter, variant=v, spec=s, config=cfg)
+        for s in specs for v in variants
+    ]
+    outcomes = run_sweep(points, jobs=4, cache=ResultCache())
+    results = [o.result for o in outcomes]
+
+See ``docs/parallel.md`` for the full design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import importlib
+import inspect
+import json
+import os
+import pathlib
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence, TextIO
+
+from ..apps.common import AppResult
+from ..config import SimConfig
+from ..errors import ConfigError
+from ..obs.events import EventBus
+from ..obs.registry import MetricsRegistry
+
+__all__ = [
+    "SweepPoint",
+    "PointOutcome",
+    "ResultCache",
+    "SweepExecutor",
+    "make_point",
+    "run_sweep",
+    "runner_ref",
+    "resolve_runner",
+    "point_key",
+    "derive_point_seed",
+    "code_fingerprint",
+    "default_cache_dir",
+    "attach_progress_printer",
+]
+
+CACHE_SCHEMA = "repro.cache/1"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# ----------------------------------------------------------------------
+# Runner references.
+# ----------------------------------------------------------------------
+
+def runner_ref(runner: Callable | str) -> str:
+    """The stable ``module:qualname`` reference of a point runner.
+
+    Workers resolve runners by import, so a runner must be a module-level
+    callable (no lambdas, closures, or instance methods).
+    """
+    if isinstance(runner, str):
+        return runner
+    qualname = getattr(runner, "__qualname__", "")
+    module = getattr(runner, "__module__", "")
+    if not module or not qualname or "<locals>" in qualname:
+        raise ConfigError(
+            f"sweep runners must be module-level callables, got {runner!r}"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_runner(ref: str) -> Callable:
+    """Import and return the callable a :func:`runner_ref` names."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise ConfigError(f"malformed runner reference {ref!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ConfigError(f"runner reference {ref!r} is not callable")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Point descriptors and content hashing.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a sweep.
+
+    Attributes:
+        runner: ``module:qualname`` reference of the runner callable.
+        label: Human-readable progress label.
+        variant: Primitive variant, passed as the first positional
+            argument when present.
+        spec: Sharing-pattern spec, passed positionally after the
+            variant when present.
+        config: Machine configuration, passed as the ``config`` keyword
+            when present.
+        kwargs: Extra keyword arguments as a sorted tuple of pairs
+            (kept picklable and content-hashable).
+        seed: Optional per-point seed override; when set (and a config
+            is present) the runner sees ``replace(config, seed=seed)``.
+    """
+
+    runner: str
+    label: str = ""
+    variant: Any = None
+    spec: Any = None
+    config: Optional[SimConfig] = None
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    seed: Optional[int] = None
+
+
+def make_point(
+    runner: Callable | str,
+    *,
+    variant: Any = None,
+    spec: Any = None,
+    config: Optional[SimConfig] = None,
+    label: str = "",
+    seed: Optional[int] = None,
+    **kwargs: Any,
+) -> SweepPoint:
+    """Build a :class:`SweepPoint`, deriving a label when none is given."""
+    ref = runner_ref(runner)
+    if not label:
+        parts = [ref.rpartition(":")[2]]
+        if variant is not None and hasattr(variant, "label"):
+            parts.append(variant.label)
+        if spec is not None:
+            parts.append(_describe(spec))
+        parts.extend(f"{k}={v}" for k, v in sorted(kwargs.items()))
+        label = " ".join(parts)
+    return SweepPoint(
+        runner=ref,
+        label=label,
+        variant=variant,
+        spec=spec,
+        config=config,
+        kwargs=tuple(sorted(kwargs.items())),
+        seed=seed,
+    )
+
+
+def _describe(spec: Any) -> str:
+    if dataclasses.is_dataclass(spec):
+        fields = dataclasses.asdict(spec)
+        return " ".join(f"{k}={v}" for k, v in fields.items())
+    return repr(spec)
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-able, order-stable view of a value for content hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        body = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__class__": type(value).__name__, **body}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot content-hash value of type {type(value)!r}")
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """A SHA-256 digest of every ``.py`` file in the ``repro`` package.
+
+    Cache keys mix this in so any edit to the simulator invalidates
+    every cached result at once.  Computed once per process.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def point_key(point: SweepPoint, fingerprint: Optional[str] = None) -> str:
+    """The content-addressed cache key of ``point``.
+
+    SHA-256 over the canonical JSON of the point descriptor plus the
+    source-tree fingerprint: identical points under identical code share
+    a key; any difference in runner, variant, spec, config (including
+    the seed), extra kwargs, or simulator source yields a new key.
+    """
+    material = json.dumps(
+        {
+            "fingerprint": fingerprint or code_fingerprint(),
+            "point": _canonical(point),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def derive_point_seed(point: SweepPoint, base_seed: Optional[int] = None) -> int:
+    """A deterministic per-point seed from the point's content hash.
+
+    Mixes the point descriptor (minus any seed override) with
+    ``base_seed`` (default: the point config's seed), so each point of a
+    sweep gets a reproducible, execution-order-independent RNG stream
+    that still varies with the user's chosen seed.  Pass
+    ``reseed=True`` to :func:`run_sweep` to apply it; the paper drivers
+    keep the config's own seed so historic numbers are unchanged.
+    """
+    if base_seed is None:
+        base_seed = point.config.seed if point.config is not None else 0
+    material = json.dumps(
+        {
+            "base": base_seed,
+            "point": _canonical(dataclasses.replace(point, seed=None)),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ----------------------------------------------------------------------
+# Result encoding (cache payloads are JSON, not pickles).
+# ----------------------------------------------------------------------
+
+def _encode_result(value: Any) -> dict[str, Any]:
+    if isinstance(value, AppResult):
+        body = dataclasses.asdict(value)
+        body["contention_histogram"] = {
+            str(level): pct
+            for level, pct in value.contention_histogram.items()
+        }
+        return {"__result__": "AppResult", "value": body}
+    return {"__result__": "json", "value": value}
+
+
+def _decode_result(encoded: dict[str, Any]) -> Any:
+    kind = encoded.get("__result__")
+    if kind == "AppResult":
+        body = dict(encoded["value"])
+        body["contention_histogram"] = {
+            int(level): pct
+            for level, pct in body["contention_histogram"].items()
+        }
+        return AppResult(**body)
+    if kind == "json":
+        return encoded["value"]
+    raise ValueError(f"unknown cached result kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# The content-addressed on-disk cache.
+# ----------------------------------------------------------------------
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Content-addressed store of point results under a root directory.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` in a small envelope
+    (schema ``repro.cache/1``) holding the encoded result plus the
+    point's metrics snapshot.  Unreadable, corrupt, or mismatched
+    entries are treated as misses; writes are atomic (temp file +
+    rename) so concurrent workers cannot tear an entry.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored payload for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != CACHE_SCHEMA
+            or document.get("key") != key
+            or "payload" not in document
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document["payload"]
+
+    def put(self, key: str, payload: dict[str, Any],
+            point: Optional[SweepPoint] = None) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "point": _canonical(point) if point is not None else None,
+            "payload": payload,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True))
+        os.replace(tmp, path)
+        self.stores += 1
+
+
+# ----------------------------------------------------------------------
+# Point execution (runs in the parent for jobs=1, in workers otherwise).
+# ----------------------------------------------------------------------
+
+def _accepts_observe(fn: Callable) -> bool:
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return False
+    return "observe" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+
+
+def execute_point(point: SweepPoint) -> dict[str, Any]:
+    """Run one point; return its encoded result + metrics snapshot.
+
+    This is the unit of work shipped to pool workers, so it must stay a
+    module-level function (picklable by reference) and return only
+    JSON-able data.
+    """
+    fn = resolve_runner(point.runner)
+    config = point.config
+    if point.seed is not None and config is not None:
+        config = dataclasses.replace(config, seed=point.seed)
+    args: list[Any] = []
+    if point.variant is not None:
+        args.append(point.variant)
+    if point.spec is not None:
+        args.append(point.spec)
+    kwargs = dict(point.kwargs)
+    if config is not None:
+        kwargs["config"] = config
+    holder: dict[str, Any] = {}
+    if _accepts_observe(fn):
+        kwargs["observe"] = holder.setdefault("machines", []).append
+    result = fn(*args, **kwargs)
+    merged = MetricsRegistry()
+    for machine in holder.get("machines", []):
+        registry = getattr(machine, "registry", None)
+        if registry is not None:
+            merged.merge_snapshot(registry.snapshot())
+    metrics = merged.snapshot() if len(merged) else {}
+    return {"result": _encode_result(result), "metrics": metrics}
+
+
+# ----------------------------------------------------------------------
+# The executor.
+# ----------------------------------------------------------------------
+
+@dataclass
+class PointOutcome:
+    """One resolved sweep point."""
+
+    point: SweepPoint
+    result: Any
+    metrics: dict[str, Any]
+    cached: bool
+    key: str
+
+
+class SweepExecutor:
+    """Run independent sweep points, optionally in parallel and cached.
+
+    Results are returned in input order regardless of completion order,
+    per-point metrics snapshots are merged (input order, so the merged
+    registry is deterministic) into :attr:`registry`, and progress is
+    emitted on :attr:`events`.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | str | os.PathLike | None = None,
+        events: Optional[EventBus] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ResultCache(cache)
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.events = events if events is not None else EventBus()
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def run(
+        self,
+        points: Iterable[SweepPoint],
+        reseed: bool = False,
+    ) -> list[PointOutcome]:
+        """Resolve every point; see the class docstring for guarantees."""
+        plan = list(points)
+        if reseed:
+            plan = [
+                dataclasses.replace(p, seed=derive_point_seed(p)) for p in plan
+            ]
+        total = len(plan)
+        self.events.emit("sweep.start", ts=0, total=total, jobs=self.jobs)
+        keys = [point_key(p) for p in plan]
+        outcomes: list[Optional[PointOutcome]] = [None] * total
+        pending: list[int] = []
+        done = 0
+        for i, (point, key) in enumerate(zip(plan, keys)):
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None:
+                outcomes[i] = self._outcome(point, key, payload, cached=True)
+                done += 1
+                self._emit_point(outcomes[i], i, done, total)
+            else:
+                pending.append(i)
+        if pending and self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_point, plan[i]): i for i in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        i = futures[future]
+                        outcomes[i] = self._store(
+                            plan[i], keys[i], future.result()
+                        )
+                        done += 1
+                        self._emit_point(outcomes[i], i, done, total)
+        else:
+            for i in pending:
+                outcomes[i] = self._store(
+                    plan[i], keys[i], execute_point(plan[i])
+                )
+                done += 1
+                self._emit_point(outcomes[i], i, done, total)
+        resolved = [o for o in outcomes if o is not None]
+        self._merge(resolved)
+        self.events.emit(
+            "sweep.done",
+            ts=total,
+            total=total,
+            cached=sum(o.cached for o in resolved),
+            executed=sum(not o.cached for o in resolved),
+        )
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _outcome(
+        self,
+        point: SweepPoint,
+        key: str,
+        payload: dict[str, Any],
+        cached: bool,
+    ) -> PointOutcome:
+        return PointOutcome(
+            point=point,
+            result=_decode_result(payload["result"]),
+            metrics=payload.get("metrics", {}),
+            cached=cached,
+            key=key,
+        )
+
+    def _store(
+        self, point: SweepPoint, key: str, payload: dict[str, Any]
+    ) -> PointOutcome:
+        if self.cache is not None:
+            self.cache.put(key, payload, point)
+        return self._outcome(point, key, payload, cached=False)
+
+    def _emit_point(
+        self, outcome: PointOutcome, index: int, done: int, total: int
+    ) -> None:
+        self.events.emit(
+            "sweep.point",
+            ts=done,
+            index=index,
+            total=total,
+            label=outcome.point.label,
+            cached=outcome.cached,
+            key=outcome.key,
+        )
+
+    def _merge(self, outcomes: Sequence[PointOutcome]) -> None:
+        sweep = self.registry
+        sweep.counter("sweep.points").inc(len(outcomes))
+        for outcome in outcomes:
+            name = "sweep.cache.hits" if outcome.cached else "sweep.executed"
+            sweep.counter(name).inc()
+            sweep.merge_snapshot(outcome.metrics)
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    jobs: int = 1,
+    cache: ResultCache | str | os.PathLike | None = None,
+    events: Optional[EventBus] = None,
+    registry: Optional[MetricsRegistry] = None,
+    reseed: bool = False,
+) -> list[PointOutcome]:
+    """Convenience wrapper: build a :class:`SweepExecutor` and run it."""
+    executor = SweepExecutor(
+        jobs=jobs, cache=cache, events=events, registry=registry
+    )
+    return executor.run(points, reseed=reseed)
+
+
+# ----------------------------------------------------------------------
+# Progress reporting.
+# ----------------------------------------------------------------------
+
+def attach_progress_printer(
+    events: EventBus, stream: Optional[TextIO] = None
+) -> int:
+    """Subscribe a line-per-point progress printer; returns the token.
+
+    Lines go to ``stream`` (default stderr) so machine-readable stdout
+    stays clean:
+
+    .. code-block:: text
+
+        [sweep 3/63] lockfree FAP/INV contention=4 ... (cached)
+        [sweep] done: 60 cached, 3 simulated
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def on_event(event) -> None:
+        if event.kind == "sweep.point":
+            suffix = " (cached)" if event.data.get("cached") else ""
+            print(
+                f"[sweep {event.ts}/{event.data.get('total', '?')}] "
+                f"{event.data.get('label', '')}{suffix}",
+                file=out,
+                flush=True,
+            )
+        elif event.kind == "sweep.done":
+            print(
+                f"[sweep] done: {event.data.get('cached', 0)} cached, "
+                f"{event.data.get('executed', 0)} simulated",
+                file=out,
+                flush=True,
+            )
+
+    return events.subscribe(on_event, kinds=("sweep.point", "sweep.done"))

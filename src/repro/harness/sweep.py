@@ -12,8 +12,13 @@ exported as CSV for external plotting.
         SimConfig().with_nodes(16),
         variants=figure_variants(),
         specs=[SyntheticSpec(contention=c) for c in (1, 2, 4)],
+        jobs=4,
     )
     write_csv("lockfree.csv", rows)
+
+The cross-product runs through :mod:`repro.harness.parallel`: ``jobs``
+shards points across worker processes and ``cache`` memoizes them,
+without changing the resulting rows.
 """
 
 from __future__ import annotations
@@ -21,12 +26,14 @@ from __future__ import annotations
 import csv
 import pathlib
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..apps.common import AppResult
 from ..apps.synthetic import SyntheticSpec
 from ..config import SimConfig
+from ..obs.events import EventBus
 from ..sync.variant import PrimitiveVariant
+from .parallel import ResultCache, make_point, run_sweep
 
 __all__ = ["SweepRow", "sweep_counter", "write_csv", "rows_as_dicts"]
 
@@ -74,13 +81,23 @@ def sweep_counter(
     config: SimConfig,
     variants: Sequence[PrimitiveVariant],
     specs: Sequence[SyntheticSpec],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    events: Optional[EventBus] = None,
 ) -> list[SweepRow]:
     """Run ``runner`` over the full variants × specs cross-product."""
+    points = [
+        make_point(runner, variant=variant, spec=spec, config=config)
+        for spec in specs
+        for variant in variants
+    ]
+    outcomes = iter(run_sweep(points, jobs=jobs, cache=cache, events=events))
     rows = []
     for spec in specs:
         for variant in variants:
-            result = runner(variant, spec, config)
-            rows.append(SweepRow.from_result(variant, spec, result))
+            rows.append(
+                SweepRow.from_result(variant, spec, next(outcomes).result)
+            )
     return rows
 
 
@@ -92,10 +109,16 @@ def rows_as_dicts(rows: Iterable[SweepRow]) -> list[dict]:
 
 
 def write_csv(path: str | pathlib.Path, rows: Sequence[SweepRow]) -> None:
-    """Write sweep rows to ``path`` as CSV with a header."""
+    """Write sweep rows to ``path`` as CSV with a header.
+
+    Parent directories are created as needed (like
+    :func:`repro.obs.schema.dump_run`).
+    """
     if not rows:
         raise ValueError("no rows to write")
     dicts = rows_as_dicts(rows)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=list(dicts[0]))
         writer.writeheader()

@@ -17,7 +17,14 @@ kind                        meaning
 ``res.revoke``              an LL reservation was killed
 ``atomic.start``            a processor operation entered the controller
 ``atomic.complete``         ...and completed (result delivered)
+``sweep.start``             a parallel sweep began (total points, jobs)
+``sweep.point``             one sweep point resolved (cached or run)
+``sweep.done``              the sweep finished (hit/miss totals)
 ==========================  ===========================================
+
+The ``sweep.*`` kinds are emitted by
+:class:`repro.harness.parallel.SweepExecutor` on its own bus (not a
+machine's); their ``ts`` is the completion ordinal, not a cycle.
 
 Observability must not perturb the simulation: emission never schedules
 simulator events or sends messages, and every emission site is guarded
@@ -47,6 +54,9 @@ EVENT_KINDS = (
     "res.revoke",
     "atomic.start",
     "atomic.complete",
+    "sweep.start",
+    "sweep.point",
+    "sweep.done",
 )
 
 

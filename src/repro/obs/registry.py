@@ -149,6 +149,20 @@ class Histogram:
             "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
         }
 
+    def merge_summary(self, summary: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one."""
+        for bucket, n in summary.get("buckets", {}).items():
+            b = int(bucket)
+            self.buckets[b] = self.buckets.get(b, 0) + n
+        self.count += summary.get("count", 0)
+        self.total += summary.get("total", 0)
+        for bound, pick in (("min", min), ("max", max)):
+            other = summary.get(bound)
+            if other is None:
+                continue
+            ours = getattr(self, bound)
+            setattr(self, bound, other if ours is None else pick(ours, other))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self.count})"
 
@@ -251,6 +265,28 @@ class MetricsRegistry:
                 base = was if isinstance(was, (int, float)) else 0
                 delta[name] = now - base
         return delta
+
+    def merge_snapshot(self, snapshot: dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Used by the parallel sweep executor to aggregate per-worker
+        machine registries into the parent.  Snapshots carry values, not
+        metric types, so merging is typed by the receiving metric when
+        one exists and inferred otherwise: dict values merge as
+        histograms, integers accumulate as counters, and floats become
+        gauges keeping the last value seen.
+        """
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                self.histogram(name).merge_summary(value)
+            else:
+                existing = self._metrics.get(name)
+                if isinstance(existing, Gauge) or (
+                    existing is None and isinstance(value, float)
+                ):
+                    self.gauge(name).set(value)
+                else:
+                    self.counter(name).inc(value)
 
     def to_json(self, prefix: str = "", indent: int | None = None) -> str:
         """The snapshot as a JSON document."""

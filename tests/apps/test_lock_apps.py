@@ -1,7 +1,5 @@
 """LocusRoute-like and Cholesky-like kernels: sharing patterns."""
 
-import pytest
-
 from repro.apps.cholesky import run_cholesky
 from repro.apps.locusroute import run_locusroute
 from repro.coherence.policy import SyncPolicy

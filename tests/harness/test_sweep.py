@@ -6,6 +6,7 @@ import pytest
 
 from repro import SimConfig, SyncPolicy
 from repro.apps.synthetic import SyntheticSpec, run_lockfree_counter
+from repro.harness.parallel import ResultCache
 from repro.harness.sweep import (
     SweepRow,
     rows_as_dicts,
@@ -65,3 +66,39 @@ def test_csv_round_trip(rows, tmp_path):
 def test_write_csv_empty_rejected(tmp_path):
     with pytest.raises(ValueError):
         write_csv(tmp_path / "x.csv", [])
+
+
+def test_write_csv_creates_parent_directories(rows, tmp_path):
+    path = tmp_path / "deep" / "nested" / "sweep.csv"
+    write_csv(path, rows)
+    with open(path, newline="") as handle:
+        assert len(list(csv.DictReader(handle))) == len(rows)
+
+
+def test_from_result_flattens_fap_unc():
+    variant = PrimitiveVariant("fap", SyncPolicy.UNC)
+    spec = SyntheticSpec(contention=2, turns=4)
+    result = run_lockfree_counter(variant, spec, CFG)
+    row = SweepRow.from_result(variant, spec, result)
+    assert row.variant == "FAP/UNC"
+    assert row.family == "fap"
+    assert row.policy == SyncPolicy.UNC.value
+    assert row.use_lx is False and row.use_drop is False
+    assert (row.contention, row.turns) == (2, 4)
+    assert row.updates == result.updates
+    assert row.cycles == result.cycles
+    assert row.avg_cycles == result.avg_cycles
+    assert row.measured_write_run == result.write_run
+
+
+def test_sweep_counter_parallel_and_cached_match_serial(tmp_path):
+    serial = sweep_counter(run_lockfree_counter, CFG, VARIANTS, SPECS)
+    fanned = sweep_counter(
+        run_lockfree_counter, CFG, VARIANTS, SPECS, jobs=2,
+        cache=ResultCache(tmp_path),
+    )
+    cached = sweep_counter(
+        run_lockfree_counter, CFG, VARIANTS, SPECS,
+        cache=ResultCache(tmp_path),
+    )
+    assert serial == fanned == cached

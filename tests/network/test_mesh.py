@@ -45,7 +45,6 @@ def test_remote_latency_scales_with_distance():
     mesh.register(3, Unit.HOME, lambda m: t_far.append(sim.now))
     mesh.send(msg(0, 1))
     sim.run()
-    base = sim.now
     mesh2 = WormholeMesh(sim, config)
     mesh2.register(3, Unit.HOME, lambda m: t_far.append(sim.now))
     start = sim.now

@@ -5,7 +5,7 @@ must carry exactly the same messages, and cycle counts must stay
 bit-identical to an instrumented (recorder-attached) run.
 """
 
-from repro.apps.synthetic import SyntheticSpec, run_lockfree_counter
+from repro.apps.synthetic import run_lockfree_counter
 from repro.coherence.policy import SyncPolicy
 from repro.config import SimConfig
 from repro.harness.figures import contention_panels, no_contention_panels

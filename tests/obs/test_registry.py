@@ -135,3 +135,58 @@ def test_iteration_and_len():
     assert isinstance(reg.get("a"), Counter)
     assert reg.get("missing") is None
     assert isinstance(reg.gauge("g"), Gauge)
+
+
+def test_histogram_merge_summary():
+    a = Histogram("lat")
+    b = Histogram("lat")
+    for v in (1, 2, 100):
+        a.observe(v)
+    for v in (0, 50):
+        b.observe(v)
+    a.merge_summary(b.snapshot())
+    assert a.count == 5
+    assert a.total == 153
+    assert a.min == 0
+    assert a.max == 100
+    assert sum(a.buckets.values()) == 5
+    # Merging into an empty histogram adopts the summary wholesale.
+    c = Histogram("lat")
+    c.merge_summary(b.snapshot())
+    assert c.snapshot() == b.snapshot()
+
+
+def test_registry_merge_snapshot_types():
+    source = MetricsRegistry()
+    source.counter("net.messages").inc(7)
+    source.gauge("sim.load").set(0.5)
+    source.histogram("net.latency").observe(4)
+
+    target = MetricsRegistry()
+    target.counter("net.messages").inc(3)
+    target.merge_snapshot(source.snapshot())
+    snap = target.snapshot()
+    # ints accumulate into counters, dicts merge as histograms, and
+    # floats land as gauges keeping the last value seen.
+    assert snap["net.messages"] == 10
+    assert snap["sim.load"] == 0.5
+    assert isinstance(target._metrics["sim.load"], Gauge)
+    assert snap["net.latency"]["count"] == 1
+
+    target.merge_snapshot(source.snapshot())
+    snap = target.snapshot()
+    assert snap["net.messages"] == 17
+    assert snap["sim.load"] == 0.5
+    assert snap["net.latency"]["count"] == 2
+
+
+def test_registry_merge_snapshot_respects_existing_gauge():
+    source = MetricsRegistry()
+    source.counter("ticks").inc(2)
+    target = MetricsRegistry()
+    target.gauge("ticks").set(1)
+    # An int snapshot value folds into a pre-existing gauge, not a
+    # conflicting counter.
+    target.merge_snapshot(source.snapshot())
+    assert isinstance(target._metrics["ticks"], Gauge)
+    assert target.snapshot()["ticks"] == 2

@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro import SimConfig, SyncPolicy, build_machine
 from repro.config import MachineConfig
-from repro.primitives.semantics import WORD_MASK, apply_phi, PhiOp
+from repro.primitives.semantics import PhiOp, apply_phi
 
 POLICIES = list(SyncPolicy)
 FAP_POLICIES = [SyncPolicy.INV, SyncPolicy.UPD, SyncPolicy.UNC]

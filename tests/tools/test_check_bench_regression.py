@@ -1,0 +1,116 @@
+"""The CI benchmark-regression gate (tools/check_bench_regression.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "tools" / "check_bench_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def envelope(results, experiment="table1", params=None):
+    return {
+        "schema": "repro.run/1",
+        "experiment": experiment,
+        "version": "1.0.0",
+        "params": params or {"nodes": 64, "turns": 6},
+        "results": results,
+    }
+
+
+def write(path, payload):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+
+
+def run_gate(tmp_path, baseline, current, tolerance=0.0, capsys=None):
+    write(tmp_path / "base" / "BENCH_table1.json", baseline)
+    write(tmp_path / "cur" / "table1.json", current)
+    argv = [
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+        "--tolerance", str(tolerance),
+    ]
+    return gate.main(argv)
+
+
+def test_identical_results_pass(tmp_path):
+    doc = envelope({"cycles": 120, "messages": 4, "match": True})
+    assert run_gate(tmp_path, doc, doc) == 0
+
+
+def test_numeric_drift_fails_at_zero_tolerance(tmp_path, capsys):
+    base = envelope({"cycles": 120})
+    cur = envelope({"cycles": 121})
+    assert run_gate(tmp_path, base, cur) == 1
+    assert "results.cycles: 121 vs baseline 120" in capsys.readouterr().out
+
+
+def test_tolerance_admits_small_drift(tmp_path):
+    base = envelope({"avg": 100.0})
+    cur = envelope({"avg": 103.0})
+    assert run_gate(tmp_path, base, cur, tolerance=0.05) == 0
+    assert run_gate(tmp_path, base, cur, tolerance=0.01) == 1
+
+
+def test_missing_and_extra_keys_fail(tmp_path, capsys):
+    base = envelope({"cycles": 1, "messages": 2})
+    cur = envelope({"cycles": 1, "new_metric": 3})
+    assert run_gate(tmp_path, base, cur) == 1
+    out = capsys.readouterr().out
+    assert "results.messages: missing from current run" in out
+    assert "results.new_metric: not in baseline" in out
+
+
+def test_param_drift_fails_even_with_tolerance(tmp_path, capsys):
+    base = envelope({"cycles": 1})
+    cur = envelope({"cycles": 1}, params={"nodes": 32, "turns": 6})
+    assert run_gate(tmp_path, base, cur, tolerance=0.5) == 1
+    assert "params.nodes" in capsys.readouterr().out
+
+
+def test_bool_never_compares_numerically(tmp_path):
+    base = envelope({"match": True})
+    cur = envelope({"match": 1})
+    assert run_gate(tmp_path, base, cur, tolerance=1.0) == 1
+
+
+def test_missing_current_file_fails(tmp_path, capsys):
+    write(tmp_path / "base" / "BENCH_table1.json", envelope({"x": 1}))
+    (tmp_path / "cur").mkdir()
+    argv = [
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    ]
+    assert gate.main(argv) == 1
+    assert "produced no output" in capsys.readouterr().out
+
+
+def test_bad_envelope_fails(tmp_path, capsys):
+    base = envelope({"x": 1})
+    assert run_gate(tmp_path, base, {"schema": "repro.run/1"}) == 1
+    assert "not a repro.run/1 envelope" in capsys.readouterr().out
+
+
+def test_no_baselines_is_an_error(tmp_path, capsys):
+    (tmp_path / "base").mkdir()
+    (tmp_path / "cur").mkdir()
+    argv = [
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    ]
+    assert gate.main(argv) == 1
+
+
+def test_committed_baselines_are_valid_envelopes():
+    baselines = sorted(
+        (REPO_ROOT / "benchmarks" / "baselines").glob("BENCH_*.json")
+    )
+    assert len(baselines) >= 2
+    for path in baselines:
+        payload = gate.load_envelope(path)
+        assert payload["params"]["nodes"] == 64

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Compare benchmark JSON envelopes against committed baselines.
+
+CI runs the benchmarks with ``REPRO_BENCH_JSON`` pointed at a scratch
+directory, then invokes this script to diff the fresh ``repro.run/1``
+documents against the ``BENCH_<name>.json`` baselines committed under
+``benchmarks/baselines/``.  The simulator is deterministic, so cycle
+counts and message counts must match the baseline exactly by default; a
+relative ``--tolerance`` is available for floating-point leaves if a
+future change makes some metric environment-sensitive.
+
+Stdlib only on purpose: the gate must run without installing the
+package::
+
+    python tools/check_bench_regression.py \\
+        --baseline-dir benchmarks/baselines --current-dir bench-out
+
+Exit status: 0 if every baseline matches, 1 otherwise (with a readable
+report of each divergent leaf on stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Iterator, List, Tuple
+
+SCHEMA = "repro.run/1"
+BASELINE_PREFIX = "BENCH_"
+
+#: Envelope keys every repro.run/1 document must carry.  Checked by hand
+#: (rather than importing repro.obs.schema) so the gate stays stdlib-only.
+ENVELOPE_KEYS = ("schema", "experiment", "version", "params", "results")
+
+
+class Mismatch(Exception):
+    """A baseline/current divergence, formatted for the report."""
+
+
+def load_envelope(path: pathlib.Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise Mismatch(f"{path}: unreadable ({exc})") from exc
+    missing = [key for key in ENVELOPE_KEYS if key not in payload]
+    if missing:
+        joined = ", ".join(missing)
+        raise Mismatch(f"{path}: not a {SCHEMA} envelope (missing {joined})")
+    if payload["schema"] != SCHEMA:
+        raise Mismatch(f"{path}: schema {payload['schema']!r}, expected {SCHEMA!r}")
+    return payload
+
+
+def walk_diffs(
+    baseline: Any,
+    current: Any,
+    tolerance: float,
+    path: str = "results",
+) -> Iterator[str]:
+    """Yield a message per divergent leaf between two JSON trees.
+
+    Numbers compare with relative ``tolerance`` (ints included — a
+    nonzero tolerance deliberately loosens message/cycle counts too).
+    Everything else compares exactly.  Missing or extra keys are
+    divergences: a benchmark silently dropping a metric must fail CI.
+    """
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in sorted(baseline):
+            if key not in current:
+                yield f"{path}.{key}: missing from current run"
+            else:
+                yield from walk_diffs(
+                    baseline[key],
+                    current[key],
+                    tolerance,
+                    f"{path}.{key}",
+                )
+        for key in sorted(set(current) - set(baseline)):
+            yield f"{path}.{key}: not in baseline (new metric? refresh it)"
+        return
+    if isinstance(baseline, list) and isinstance(current, list):
+        if len(baseline) != len(current):
+            yield f"{path}: length {len(current)} != baseline {len(baseline)}"
+            return
+        for i, (b, c) in enumerate(zip(baseline, current)):
+            yield from walk_diffs(b, c, tolerance, f"{path}[{i}]")
+        return
+    # bool is an int subclass; a true/1 swap is a type change, not a match.
+    if isinstance(baseline, bool) != isinstance(current, bool):
+        yield f"{path}: {current!r} != baseline {baseline!r} (type changed)"
+        return
+    b_num = isinstance(baseline, (int, float)) and not isinstance(baseline, bool)
+    c_num = isinstance(current, (int, float)) and not isinstance(current, bool)
+    if b_num and c_num:
+        scale = max(abs(baseline), abs(current))
+        if abs(baseline - current) > tolerance * scale:
+            rel = (abs(baseline - current) / scale) if scale else 0.0
+            yield (
+                f"{path}: {current} vs baseline {baseline} "
+                f"(rel {rel:.2%}, tolerance {tolerance:.2%})"
+            )
+        return
+    if baseline != current:
+        yield f"{path}: {current!r} != baseline {baseline!r}"
+
+
+def compare_pair(
+    baseline_path: pathlib.Path,
+    current_path: pathlib.Path,
+    tolerance: float,
+) -> List[str]:
+    baseline = load_envelope(baseline_path)
+    current = load_envelope(current_path)
+    problems = []
+    if baseline["experiment"] != current["experiment"]:
+        got, want = current["experiment"], baseline["experiment"]
+        problems.append(f"experiment: {got!r} != baseline {want!r}")
+    params_diff = walk_diffs(
+        baseline["params"],
+        current["params"],
+        tolerance=0.0,
+        path="params",
+    )
+    problems.extend(params_diff)
+    problems.extend(walk_diffs(baseline["results"], current["results"], tolerance))
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate benchmark results against committed baselines.",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=pathlib.Path,
+        required=True,
+        help=f"directory of {BASELINE_PREFIX}<name>.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=pathlib.Path,
+        required=True,
+        help="directory of freshly generated <name>.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="relative tolerance for numeric leaves (default 0: the "
+        "simulator is deterministic)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baseline_dir.glob(f"{BASELINE_PREFIX}*.json"))
+    if not baselines:
+        print(f"error: no {BASELINE_PREFIX}*.json under {args.baseline_dir}")
+        return 1
+
+    failures: List[Tuple[str, List[str]]] = []
+    for baseline_path in baselines:
+        name = baseline_path.stem[len(BASELINE_PREFIX) :]
+        current_path = args.current_dir / f"{name}.json"
+        try:
+            if not current_path.exists():
+                raise Mismatch(f"{current_path}: benchmark produced no output")
+            problems = compare_pair(baseline_path, current_path, args.tolerance)
+        except Mismatch as exc:
+            problems = [str(exc)]
+        if problems:
+            failures.append((name, problems))
+            print(f"FAIL {name}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok   {name}")
+
+    if failures:
+        total = sum(len(p) for _, p in failures)
+        print(f"\n{len(failures)} benchmark(s) regressed ({total} divergent leaves).")
+        print(
+            "If the change is intentional, regenerate the baselines "
+            "(see docs/parallel.md)."
+        )
+        return 1
+    print(f"\nAll {len(baselines)} benchmark baseline(s) match.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
