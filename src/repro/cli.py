@@ -26,15 +26,31 @@ with ``--no-cache``.  ``--progress`` (implied by ``--jobs > 1``) prints
 per-point progress lines to stderr via the sweep EventBus.  See
 ``docs/parallel.md``.
 
-Two observability subcommands inspect a small *representative* run of an
-experiment instead of regenerating it in full (see
+Four observability subcommands inspect a small *representative* run of
+an experiment instead of regenerating it in full (see
 :mod:`repro.harness.instrumented`):
 
 * ``repro stats <experiment>`` — dump the machine's metrics registry and
   per-primitive latency breakdown (p50/p95/max per category);
+  ``--format jsonl`` streams the same envelope as line-delimited JSON
+  records for machine consumption;
 * ``repro trace <experiment> --block N --format {text,jsonl,chrome}`` —
   export the structured event trace; ``chrome`` output loads directly
-  into ``chrome://tracing`` / https://ui.perfetto.dev.
+  into ``chrome://tracing`` / https://ui.perfetto.dev (message send and
+  delivery slices are linked by flow events, so the viewer draws the
+  causal arrows);
+* ``repro critpath <experiment>`` — critical-path attribution over the
+  run's transactions: blame by hop kind and component, p50/p95
+  composition per primitive × policy, and the worst transactions with
+  their full serialized paths;
+* ``repro hotspots <experiment> --top N`` — per-cache-line contention
+  ranking (queue-wait cycles, invalidation multicasts, failed atomics,
+  directory-queue depth).
+
+Finally, ``repro report RUN.json [-o report.html]`` renders any
+``repro.run/1`` document — from ``--json`` or a benchmark — into a
+single self-contained HTML file (inline SVG, no network access; see
+:mod:`repro.harness.htmlreport`).
 """
 
 from __future__ import annotations
@@ -59,17 +75,19 @@ from .harness.figures import (
     run_figure4,
     run_figure5,
 )
+from .harness.htmlreport import load_payload, write_report
 from .harness.instrumented import INSTRUMENTED_EXPERIMENTS, run_instrumented
 from .harness.parallel import ResultCache, attach_progress_printer
 from .harness.report import render_histogram, render_table
 from .harness.table1 import TABLE1_EXPECTED, run_table1
 from .obs.events import EventBus
 from .obs.exporters import export_events, to_jsonl
-from .obs.schema import dump_run, make_run_payload
+from .obs.schema import dump_run, make_run_payload, run_payload_to_jsonl
 
 __all__ = ["main", "build_parser"]
 
 TRACE_FORMATS = ("text", "jsonl", "chrome")
+STATS_FORMATS = ("text", "jsonl")
 
 
 def _add_common(parser: argparse.ArgumentParser, top_level: bool) -> None:
@@ -136,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("experiment",
                        choices=sorted(INSTRUMENTED_EXPERIMENTS),
                        help="experiment to instrument")
+    stats.add_argument("--format", choices=STATS_FORMATS, default="text",
+                       dest="fmt",
+                       help="text report or line-delimited JSON records "
+                            "(default text)")
     _add_common(stats, top_level=False)
     trace = sub.add_parser(
         "trace",
@@ -149,6 +171,40 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--format", choices=TRACE_FORMATS, default="text",
                        dest="fmt", help="export format (default text)")
     _add_common(trace, top_level=False)
+    critpath = sub.add_parser(
+        "critpath",
+        help="critical-path attribution of a representative run",
+    )
+    critpath.add_argument("experiment",
+                          choices=sorted(INSTRUMENTED_EXPERIMENTS),
+                          help="experiment to instrument")
+    critpath.add_argument("--worst", type=int, default=8,
+                          help="worst transactions to expand (default 8)")
+    _add_common(critpath, top_level=False)
+    hotspots = sub.add_parser(
+        "hotspots",
+        help="per-cache-line contention ranking of a representative run",
+    )
+    hotspots.add_argument("experiment",
+                          choices=sorted(INSTRUMENTED_EXPERIMENTS),
+                          help="experiment to instrument")
+    hotspots.add_argument("--top", type=int, default=10,
+                          help="blocks to list (default 10)")
+    _add_common(hotspots, top_level=False)
+    report = sub.add_parser(
+        "report",
+        help="render a repro.run/1 JSON document as self-contained HTML",
+    )
+    report.add_argument("run", type=pathlib.Path,
+                        help="repro.run/1 JSON document (from --json or a "
+                             "benchmark)")
+    report.add_argument("-o", "--output", type=pathlib.Path, default=None,
+                        help="HTML file to write (default: the input with "
+                             "a .html suffix)")
+    report.add_argument("--title", default=None,
+                        help="report title (default derives from the "
+                             "experiment name)")
+    _add_common(report, top_level=False)
     return parser
 
 
@@ -179,6 +235,8 @@ def _emit(
     results: Optional[dict[str, Any]] = None,
     metrics: Optional[dict[str, Any]] = None,
     latency: Optional[dict[str, Any]] = None,
+    critpath: Optional[dict[str, Any]] = None,
+    hotspots: Optional[dict[str, Any]] = None,
 ) -> None:
     out(text)
     if args.out is not None:
@@ -191,6 +249,8 @@ def _emit(
             results=results,
             metrics=metrics,
             latency=latency,
+            critpath=critpath,
+            hotspots=hotspots,
         )
         dump_run(payload, args.json)
 
@@ -304,20 +364,62 @@ def _cmd_ablation_dropcopy(args, out) -> int:
 
 def _cmd_stats(args, out) -> int:
     run = run_instrumented(args.experiment, _config(args), turns=args.turns)
-    registry = run.machine.registry
-    latency = run.machine.stats.latency
+    payload = run.payload(params={"turns": args.turns})
+    if args.fmt == "jsonl":
+        text = run_payload_to_jsonl(payload)
+    else:
+        text = "\n".join([
+            f"stats — {args.experiment}: {run.description}",
+            "",
+            run.machine.registry.render(),
+            "",
+            run.machine.stats.latency.render(),
+        ])
+    out(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        ext = {"text": "txt", "jsonl": "jsonl"}[args.fmt]
+        (args.out / f"stats-{args.experiment}.{ext}").write_text(text + "\n")
+    if args.json is not None:
+        dump_run(payload, args.json)
+    return 0
+
+
+def _cmd_critpath(args, out) -> int:
+    run = run_instrumented(args.experiment, _config(args), turns=args.turns)
+    agg = run.critpath(worst=args.worst)
     text = "\n".join([
-        f"stats — {args.experiment}: {run.description}",
+        f"critpath — {args.experiment}: {run.description}",
         "",
-        registry.render(),
-        "",
-        latency.render(),
+        agg.render(),
     ])
-    _emit(args, f"stats-{args.experiment}", text, out,
+    _emit(args, f"critpath-{args.experiment}", text, out,
           results={"description": run.description,
-                   "events_recorded": len(run.recorder)},
-          metrics=registry.snapshot(),
-          latency=latency.snapshot())
+                   "transactions": len(run.spans.completed)},
+          critpath=agg.snapshot())
+    return 0
+
+
+def _cmd_hotspots(args, out) -> int:
+    run = run_instrumented(args.experiment, _config(args), turns=args.turns)
+    text = "\n".join([
+        f"hotspots — {args.experiment}: {run.description}",
+        "",
+        run.hotspots.render(top_n=args.top),
+    ])
+    _emit(args, f"hotspots-{args.experiment}", text, out,
+          results={"description": run.description,
+                   "transactions": len(run.spans.completed)},
+          hotspots=run.hotspots.snapshot(top_n=args.top))
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    payload = load_payload(args.run)
+    target = (args.output if args.output is not None
+              else args.run.with_suffix(".html"))
+    write_report(payload, target, title=args.title)
+    out(f"wrote {target}")
     return 0
 
 
@@ -359,6 +461,9 @@ _COMMANDS: dict[str, Callable] = {
     "ablation-dropcopy": _cmd_ablation_dropcopy,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
+    "critpath": _cmd_critpath,
+    "hotspots": _cmd_hotspots,
+    "report": _cmd_report,
 }
 
 

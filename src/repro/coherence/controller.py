@@ -248,11 +248,12 @@ class CacheController:
         self._emit("res.grant", self.sim.now, block=block, addr=addr,
                    doomed=doomed)
 
-    def _revoke_reservation(self, reason: str) -> None:
-        """Kill the LL reservation, noting why."""
+    def _revoke_reservation(self, reason: str,
+                            by: Optional[int] = None) -> None:
+        """Kill the LL reservation, noting why (and whose write did it)."""
         if self.reservation.valid:
             self._emit("res.revoke", self.sim.now,
-                       block=self.reservation.block, reason=reason)
+                       block=self.reservation.block, reason=reason, by=by)
         self.reservation.clear()
 
     # ==================================================================
@@ -262,15 +263,15 @@ class CacheController:
     def execute(self, op: Any, callback: Callback) -> None:
         """Perform ``op`` and eventually call ``callback(result)``."""
         self.stats.ops += 1
+        addr = getattr(op, "addr", None)
+        block = self.machine.block_of(addr) if addr is not None else None
+        policy = self.machine.policy_of(block) if block is not None else None
         self._emit("atomic.start", self.sim.now, op=type(op).__name__,
-                   addr=getattr(op, "addr", None),
-                   block=self.machine.block_of(op.addr)
-                   if getattr(op, "addr", None) is not None else None)
+                   addr=addr, block=block,
+                   policy=policy.value if policy is not None else None)
         if isinstance(op, DropCopy):
             self._drop_copy(op, callback)
             return
-        block = self.machine.block_of(op.addr)
-        policy = self.machine.policy_of(block)
         if policy is SyncPolicy.UNC:
             self._execute_unc(op, block, callback)
         elif policy is SyncPolicy.UPD:
@@ -483,6 +484,8 @@ class CacheController:
         line = self.cache.lookup(block, touch=False)
         if line is not None and not self.mshr.pending_for(block):
             self._relinquish(block, line)
+        done = self.sim.now + self.config.timing.controller_occupancy
+        self._emit("atomic.complete", done, block=block, local=True)
         self.sim.schedule(self.config.timing.controller_occupancy,
                           callback, None)
 
@@ -667,7 +670,7 @@ class CacheController:
             line.invalidate()
             self.cache.drop(msg.block)
         if self.reservation.block == msg.block:
-            self._revoke_reservation("invalidated")
+            self._revoke_reservation("invalidated", by=msg.requester)
         self._reply_to(msg, MessageType.INV_ACK, msg.requester, Unit.CACHE)
 
     def _on_update(self, msg: Message) -> None:
@@ -695,7 +698,7 @@ class CacheController:
             self._emit_transition(msg.block, line.state, None)
             self.cache.drop(msg.block)
             if self.reservation.block == msg.block:
-                self._revoke_reservation("recalled")
+                self._revoke_reservation("recalled", by=msg.requester)
             self._reply_to(msg, MessageType.FLUSH_REPLY, home, Unit.HOME,
                            data=data)
         elif msg.mtype is MessageType.DOWNGRADE_REQ:
@@ -721,7 +724,7 @@ class CacheController:
             self._emit_transition(msg.block, line.state, None)
             self.cache.drop(msg.block)
             if self.reservation.block == msg.block:
-                self._revoke_reservation("cas_taken")
+                self._revoke_reservation("cas_taken", by=msg.requester)
             self._reply_to(msg, MessageType.FLUSH_REPLY, home, Unit.HOME,
                            data=data, cas_ok=True, old=old)
             return
@@ -762,14 +765,14 @@ class CacheController:
         for deferred in self.mshr.take_deferred(txn.block):
             self._on_recall(deferred)
         done = self.sim.now + self.config.timing.controller_occupancy
+        policy = self.machine.policy_of(txn.block)
         if txn.breakdown is not None:
             txn.breakdown.credit("controller", done)
-            policy = self.machine.policy_of(txn.block)
             self.machine.stats.note_txn_latency(
                 txn.kind, policy.value, txn.breakdown
             )
         self._emit("atomic.complete", done, block=txn.block, op=txn.kind,
-                   chain=txn.chain, local=False)
+                   chain=txn.chain, local=False, policy=policy.value)
         self.sim.schedule(self.config.timing.controller_occupancy,
                           txn.callback, result)
 

@@ -89,19 +89,26 @@ class HomeNode:
         if msg.mtype is MessageType.DROP:
             service = self.memory.config.timing.directory_service
             self.memory.service(self._process, msg, service_time=service,
-                                txn=msg.txn)
+                                txn=msg.txn, block=msg.block,
+                                mtype=msg.mtype.value,
+                                requester=msg.requester)
         else:
-            self.memory.service(self._process, msg, txn=msg.txn)
+            self.memory.service(self._process, msg, txn=msg.txn,
+                                block=msg.block, mtype=msg.mtype.value,
+                                requester=msg.requester)
 
     def _process(self, msg: Message) -> None:
         entry = self.directory.entry(msg.block)
         if msg.mtype in _REQUESTS and entry.busy:
             self._queued.inc()
             if self.events.active:
+                holder = (entry.pending.requester
+                          if entry.pending is not None else None)
                 self.events.emit(
                     "dir.queue.enter", self.machine.sim.now, node=self.node,
                     block=msg.block, mtype=msg.mtype.value,
                     requester=msg.requester, depth=len(entry.waiters) + 1,
+                    holder=holder,
                 )
             entry.waiters.append(msg)
             return
@@ -182,7 +189,9 @@ class HomeNode:
                     bus.emit("dir.queue.leave", self.machine.sim.now,
                              node=self.node, block=msg.block,
                              mtype=msg.mtype.value, requester=msg.requester)
-                self.memory.service(self._process, msg, txn=msg.txn)
+                self.memory.service(self._process, msg, txn=msg.txn,
+                                    block=msg.block, mtype=msg.mtype.value,
+                                    requester=msg.requester)
 
     def _note(self, msg: Message, is_write: bool) -> None:
         """Record a memory-side access for sharing-pattern statistics."""

@@ -2,22 +2,27 @@
 
 Full experiments build many machines internally and throw their metrics
 away with each; for interactive inspection we instead run one small,
-*representative* configuration of each experiment with an
-:class:`~repro.obs.events.EventRecorder` attached and hand back the live
-machine, so its registry, latency tracker, and recorded events can be
-rendered or exported.
+*representative* configuration of each experiment with the full
+observability stack attached — an
+:class:`~repro.obs.events.EventRecorder`, a
+:class:`~repro.obs.spans.SpanBuilder` (causal span graphs per
+transaction), and a :class:`~repro.obs.hotspot.HotspotTracker` (per-line
+contention) — and hand back the live machine, so its registry, latency
+tracker, span graphs, and recorded events can be rendered or exported.
 
 .. code-block:: python
 
     run = run_instrumented("table1")
     print(run.machine.registry.render())
+    print(run.critpath().render())
     print(export_events(run.recorder.events, "chrome"))
+    payload = run.payload()          # full repro.run/1 envelope
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from ..apps.synthetic import (
     SyntheticSpec,
@@ -30,34 +35,92 @@ from ..coherence.policy import SyncPolicy
 from ..config import SimConfig, small_config
 from ..errors import ConfigError
 from ..machine.machine import Machine, build_machine
+from ..obs.critpath import CritPathAggregator
 from ..obs.events import EventRecorder
+from ..obs.hotspot import HotspotTracker
+from ..obs.schema import make_run_payload
+from ..obs.spans import SpanBuilder
 from ..sync.variant import PrimitiveVariant
 
-__all__ = ["InstrumentedRun", "INSTRUMENTED_EXPERIMENTS", "run_instrumented"]
+__all__ = [
+    "Instruments",
+    "InstrumentedRun",
+    "INSTRUMENTED_EXPERIMENTS",
+    "run_instrumented",
+]
+
+
+@dataclass
+class Instruments:
+    """The observability stack attached to one machine."""
+
+    recorder: EventRecorder
+    spans: SpanBuilder
+    hotspots: HotspotTracker
 
 
 @dataclass
 class InstrumentedRun:
-    """A finished representative run with its recorder still attached."""
+    """A finished representative run with its instruments still attached."""
 
     experiment: str
     description: str
     machine: Machine
     recorder: EventRecorder
+    spans: SpanBuilder
+    hotspots: HotspotTracker
+
+    def critpath(self, worst: int = 8) -> CritPathAggregator:
+        """Critical-path attribution over the run's remote transactions."""
+        return CritPathAggregator.from_graphs(self.spans.completed,
+                                              worst=worst)
+
+    def payload(self, params: Optional[dict[str, Any]] = None,
+                top_hotspots: int = 10) -> dict[str, Any]:
+        """The run as a full ``repro.run/1`` envelope.
+
+        Includes every optional section: registry ``metrics``, the
+        ``latency`` breakdown, ``critpath`` attribution, and the
+        ``hotspots`` ranking — the input ``repro report`` renders.
+        """
+        return make_run_payload(
+            f"instrumented-{self.experiment}",
+            params={"nodes": self.machine.n_nodes, **(params or {})},
+            results={
+                "description": self.description,
+                "end_cycle": self.machine.now,
+                "events_recorded": len(self.recorder),
+                "transactions": len(self.spans.completed),
+            },
+            metrics=self.machine.registry.snapshot(),
+            latency=self.machine.stats.latency.snapshot(),
+            critpath=self.critpath().snapshot(),
+            hotspots=self.hotspots.snapshot(top_n=top_hotspots),
+        )
 
 
-def _recorded(machine: Machine,
-              blocks: Optional[Iterable[int]]) -> EventRecorder:
-    return EventRecorder(machine.events, blocks=blocks)
+def _instrument(machine: Machine,
+                blocks: Optional[Iterable[int]]) -> Instruments:
+    """Attach the full observability stack to a live machine.
+
+    The recorder honors the block filter; the span builder and hotspot
+    tracker always see everything (a filtered span graph would report
+    broken critical paths).
+    """
+    return Instruments(
+        recorder=EventRecorder(machine.events, blocks=blocks),
+        spans=SpanBuilder(machine.events),
+        hotspots=HotspotTracker(machine.events),
+    )
 
 
 def _run_table1(config: SimConfig, turns: int,
                 blocks: Optional[Iterable[int]]) -> tuple[Machine,
-                                                          EventRecorder, str]:
+                                                          Instruments, str]:
     # The richest Table 1 row: INV store to a remote-exclusive line
     # (4 serialized messages — ownership transferred through the home).
     machine = build_machine(config)
-    recorder = _recorded(machine, blocks)
+    instruments = _instrument(machine, blocks)
     addr = machine.alloc_sync(SyncPolicy.INV, home=1)
 
     def put(p, value):
@@ -67,24 +130,24 @@ def _run_table1(config: SimConfig, turns: int,
     machine.run()
     machine.spawn(0, put, 2)        # measure: node 0 steals ownership
     machine.run()
-    return machine, recorder, "INV store to a remote-exclusive line"
+    return machine, instruments, "INV store to a remote-exclusive line"
 
 
 def _counter_runner(runner, label: str):
     def run(config: SimConfig, turns: int,
             blocks: Optional[Iterable[int]]) -> tuple[Machine,
-                                                      EventRecorder, str]:
+                                                      Instruments, str]:
         holder: dict = {}
 
         def observe(machine: Machine) -> None:
             holder["machine"] = machine
-            holder["recorder"] = _recorded(machine, blocks)
+            holder["instruments"] = _instrument(machine, blocks)
 
         contention = min(4, config.machine.n_nodes)
         spec = SyntheticSpec(contention=contention, turns=turns)
         variant = PrimitiveVariant("fap", SyncPolicy.INV)
         runner(variant, spec, config, observe=observe)
-        return (holder["machine"], holder["recorder"],
+        return (holder["machine"], holder["instruments"],
                 f"{label}, fetch_and_add/INV, c={contention}, "
                 f"{turns} turns")
 
@@ -93,51 +156,51 @@ def _counter_runner(runner, label: str):
 
 def _run_apps(config: SimConfig, turns: int,
               blocks: Optional[Iterable[int]]) -> tuple[Machine,
-                                                        EventRecorder, str]:
+                                                        Instruments, str]:
     holder: dict = {}
 
     def observe(machine: Machine) -> None:
         holder["machine"] = machine
-        holder["recorder"] = _recorded(machine, blocks)
+        holder["instruments"] = _instrument(machine, blocks)
 
     variant = PrimitiveVariant("fap", SyncPolicy.INV)
     run_transitive_closure(variant, size=12, config=config, observe=observe)
-    return (holder["machine"], holder["recorder"],
+    return (holder["machine"], holder["instruments"],
             "Transitive Closure (size 12), fetch_and_add/INV")
 
 
 def _run_llsc(config: SimConfig, turns: int,
               blocks: Optional[Iterable[int]]) -> tuple[Machine,
-                                                        EventRecorder, str]:
+                                                        Instruments, str]:
     holder: dict = {}
 
     def observe(machine: Machine) -> None:
         holder["machine"] = machine
-        holder["recorder"] = _recorded(machine, blocks)
+        holder["instruments"] = _instrument(machine, blocks)
 
     contention = min(4, config.machine.n_nodes)
     spec = SyntheticSpec(contention=contention, turns=turns)
     variant = PrimitiveVariant("llsc", SyncPolicy.UNC)
     run_lockfree_counter(variant, spec, config, observe=observe)
-    return (holder["machine"], holder["recorder"],
+    return (holder["machine"], holder["instruments"],
             f"LL/SC counter under UNC (reservations), c={contention}")
 
 
 def _run_dropcopy(config: SimConfig, turns: int,
                   blocks: Optional[Iterable[int]]) -> tuple[Machine,
-                                                            EventRecorder,
+                                                            Instruments,
                                                             str]:
     holder: dict = {}
 
     def observe(machine: Machine) -> None:
         holder["machine"] = machine
-        holder["recorder"] = _recorded(machine, blocks)
+        holder["instruments"] = _instrument(machine, blocks)
 
     contention = min(4, config.machine.n_nodes)
     spec = SyntheticSpec(contention=contention, turns=turns)
     variant = PrimitiveVariant("fap", SyncPolicy.INV, use_drop=True)
     run_lockfree_counter(variant, spec, config, observe=observe)
-    return (holder["machine"], holder["recorder"],
+    return (holder["machine"], holder["instruments"],
             f"fetch_and_Φ counter with drop_copy, c={contention}")
 
 
@@ -161,8 +224,10 @@ def run_instrumented(
 ) -> InstrumentedRun:
     """Run one representative configuration of ``experiment``, recorded.
 
-    Returns the live machine (registry and latency tracker populated) and
-    the attached recorder (all event kinds, optionally block-filtered).
+    Returns the live machine (registry and latency tracker populated)
+    plus the attached instruments: the recorder (all event kinds,
+    optionally block-filtered), the span builder, and the hotspot
+    tracker.
     """
     try:
         runner = INSTRUMENTED_EXPERIMENTS[experiment]
@@ -171,7 +236,12 @@ def run_instrumented(
         raise ConfigError(
             f"unknown experiment {experiment!r}; choose from: {known}"
         ) from None
-    machine, recorder, description = runner(
+    machine, instruments, description = runner(
         config or small_config(n_nodes=4), turns, blocks
     )
-    return InstrumentedRun(experiment, description, machine, recorder)
+    return InstrumentedRun(
+        experiment, description, machine,
+        recorder=instruments.recorder,
+        spans=instruments.spans,
+        hotspots=instruments.hotspots,
+    )

@@ -7,9 +7,23 @@ from typing import Any, Iterable, Sequence
 __all__ = ["render_table", "render_histogram"]
 
 
+def _fmt_float(value: float) -> str:
+    """One decimal place, degrading to significant digits near zero.
+
+    A fixed ``%.1f`` renders any rate below 0.05 as ``0.0`` —
+    indistinguishable from a true zero.  Keep the fixed format where it
+    is faithful and fall back to two significant digits where it would
+    erase a nonzero value.
+    """
+    text = f"{value:.1f}"
+    if float(text) == 0.0 and value != 0.0:
+        return f"{value:.2g}"
+    return text
+
+
 def _fmt(value: Any) -> str:
     if isinstance(value, float):
-        return f"{value:.1f}"
+        return _fmt_float(value)
     return str(value)
 
 
@@ -43,5 +57,5 @@ def render_histogram(
     for level in sorted(histogram):
         pct = histogram[level]
         bar = "#" * max(1, round(width * pct / peak)) if peak and pct > 0 else ""
-        lines.append(f"{level:4d} | {pct:5.1f}% {bar}")
+        lines.append(f"{level:4d} | {_fmt_float(pct):>5s}% {bar}")
     return "\n".join(lines)

@@ -79,7 +79,8 @@ class Machine:
 
         n = config.machine.n_nodes
         for i in range(n):
-            memory = MemoryModule(self.sim, i, config, registry=self.registry)
+            memory = MemoryModule(self.sim, i, config, registry=self.registry,
+                                  events=self.events)
             directory = Directory(i)
             reservations = make_reservation_table(
                 config.reservation_strategy, n, config.reservation_limit

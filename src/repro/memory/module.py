@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..config import SimConfig
+from ..obs.events import EventBus
 from ..obs.registry import MetricsRegistry
 from ..sim.engine import Simulator
 
@@ -72,10 +73,12 @@ class MemoryModule:
         node: int,
         config: SimConfig,
         registry: Optional[MetricsRegistry] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         self.sim = sim
         self.node = node
         self.config = config
+        self.events = events
         self.words_per_block = config.machine.words_per_block
         self._blocks: dict[int, list[int]] = {}
         self._next_free = 0
@@ -123,6 +126,9 @@ class MemoryModule:
         *args: Any,
         service_time: int | None = None,
         txn: Any = None,
+        block: int | None = None,
+        mtype: str | None = None,
+        requester: int | None = None,
     ) -> None:
         """Enqueue a request; run ``fn(*args)`` when service completes.
 
@@ -131,7 +137,8 @@ class MemoryModule:
         ``service_time``, for directory-only work).  When the request
         belongs to a requester transaction, pass it as ``txn`` so the
         queue wait and service occupancy are attributed in its latency
-        breakdown.
+        breakdown.  ``block``/``mtype``/``requester`` only describe the
+        request on the ``mem.service`` event stream (when anyone listens).
         """
         now = self.sim.now
         start = max(now, self._next_free)
@@ -145,4 +152,10 @@ class MemoryModule:
         if breakdown is not None:
             breakdown.credit("queue", start)
             breakdown.credit("memory", start + service)
+        if self.events is not None and self.events.active:
+            self.events.emit(
+                "mem.service", start + service, node=self.node,
+                arrival=now, start=start, block=block, mtype=mtype,
+                requester=requester, has_txn=txn is not None,
+            )
         self.sim.schedule(start + service - now, fn, *args)

@@ -176,6 +176,7 @@ class WormholeMesh:
                 chain=msg.chain,
                 requester=msg.requester,
                 msg_id=msg.msg_id,
+                has_txn=msg.txn is not None,
             )
             bus.emit("msg.send", sent, node=msg.src, delivered=delivered,
                      **fields)

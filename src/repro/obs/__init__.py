@@ -9,12 +9,16 @@ Three pillars (see ``docs/observability.md``):
   exporters;
 * :mod:`repro.obs.latency` — per-transaction cycle attribution
   (network / queue / memory / controller), aggregated per
-  primitive × policy.
+  primitive × policy;
+* :mod:`repro.obs.spans` / :mod:`repro.obs.critpath` /
+  :mod:`repro.obs.hotspot` — causal span graphs per transaction,
+  run-level critical-path blame, and per-cache-line contention scores.
 
 :mod:`repro.obs.schema` defines the stable ``repro.run/1`` JSON envelope
 all ``--json`` output uses.
 """
 
+from .critpath import CritPathAggregator
 from .events import EVENT_KINDS, Event, EventBus, EventRecorder
 from .exporters import (
     export_events,
@@ -22,9 +26,17 @@ from .exporters import (
     to_chrome_trace,
     to_jsonl,
 )
+from .hotspot import BlockStats, HotspotTracker
 from .latency import CATEGORIES, LatencyStats, LatencyTracker, TxnBreakdown
+from .schema import (
+    SCHEMA,
+    dump_run,
+    make_run_payload,
+    run_payload_to_jsonl,
+    validate_run_payload,
+)
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
-from .schema import SCHEMA, dump_run, make_run_payload, validate_run_payload
+from .spans import SPAN_KINDS, CritStep, Span, SpanBuilder, TxnSpanGraph
 
 __all__ = [
     "MetricsRegistry",
@@ -47,4 +59,13 @@ __all__ = [
     "make_run_payload",
     "validate_run_payload",
     "dump_run",
+    "run_payload_to_jsonl",
+    "Span",
+    "CritStep",
+    "TxnSpanGraph",
+    "SpanBuilder",
+    "SPAN_KINDS",
+    "CritPathAggregator",
+    "HotspotTracker",
+    "BlockStats",
 ]

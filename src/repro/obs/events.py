@@ -12,9 +12,16 @@ kind                        meaning
                             instant; ``ts`` is the delivery cycle)
 ``cache.transition``        a cache line changed state
 ``dir.queue.enter``         a request queued on a busy directory entry
+                            (``holder`` names the requester whose
+                            transaction holds the entry busy)
 ``dir.queue.leave``         ...and was replayed when the entry freed
+``mem.service``             a memory module serviced a request (``ts`` is
+                            the service-end cycle; ``arrival``/``start``
+                            bound the FIFO wait before service)
 ``res.grant``               an LL reservation was established
-``res.revoke``              an LL reservation was killed
+``res.revoke``              an LL reservation was killed (``by`` names
+                            the requester whose transaction killed it,
+                            when one did)
 ``atomic.start``            a processor operation entered the controller
 ``atomic.complete``         ...and completed (result delivered)
 ``sweep.start``             a parallel sweep began (total points, jobs)
@@ -50,6 +57,7 @@ EVENT_KINDS = (
     "cache.transition",
     "dir.queue.enter",
     "dir.queue.leave",
+    "mem.service",
     "res.grant",
     "res.revoke",
     "atomic.start",

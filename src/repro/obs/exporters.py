@@ -8,9 +8,11 @@ Three output shapes for one list of :class:`~repro.obs.events.Event`:
   (``jq``, pandas);
 * :func:`to_chrome_trace` — the Chrome trace-event format: open
   ``chrome://tracing`` (or https://ui.perfetto.dev) and load the file to
-  scrub through a transaction visually.  Message flights render as
-  duration slices on their source node's track; everything else renders
-  as instant events.
+  scrub through a transaction visually.  Each message renders as a send
+  slice on its source node's track and a deliver slice on its
+  destination node's track, bound by a *flow event* pair (``ph:"s"`` /
+  ``ph:"f"`` sharing the message id) so the viewer draws an arrow from
+  send to delivery; everything else renders as instant events.
 
 See ``docs/observability.md`` for the schemas.
 """
@@ -59,8 +61,13 @@ def to_jsonl(events: Iterable[Event]) -> str:
 def to_chrome_trace(events: Iterable[Event], pid: int = 1) -> str:
     """The events as a Chrome trace-event JSON document.
 
-    * ``msg.send`` becomes a complete ("X") slice from send to delivery
-      on the source node's track (``msg.deliver`` twins are folded in);
+    * ``msg.send`` becomes a complete ("X") slice covering the flight on
+      the source node's track, plus a flow-start (``ph:"s"``) keyed by
+      the message id;
+    * ``msg.deliver`` becomes a short complete slice on the destination
+      node's track, plus the matching flow-finish (``ph:"f"``,
+      ``bp:"e"``) — the trace viewer draws an arrow from the send slice
+      to the deliver slice;
     * every other kind becomes an instant ("i") event on its node's
       track.
 
@@ -68,8 +75,6 @@ def to_chrome_trace(events: Iterable[Event], pid: int = 1) -> str:
     """
     trace_events: list[dict] = []
     for e in events:
-        if e.kind == "msg.deliver":
-            continue  # folded into the msg.send slice
         base = {
             "pid": pid,
             "tid": max(e.node, 0),
@@ -77,14 +82,35 @@ def to_chrome_trace(events: Iterable[Event], pid: int = 1) -> str:
             "cat": e.kind.split(".", 1)[0],
             "args": dict(e.data),
         }
+        name = str(e.data.get("mtype", "msg"))
+        msg_id = e.data.get("msg_id")
         if e.kind == "msg.send":
             delivered = e.data.get("delivered", e.ts)
             trace_events.append({
                 **base,
-                "name": str(e.data.get("mtype", "msg")),
+                "name": name,
                 "ph": "X",
                 "dur": max(0, delivered - e.ts),
             })
+            if msg_id is not None:
+                trace_events.append({
+                    "pid": pid, "tid": max(e.node, 0), "ts": e.ts,
+                    "cat": "flow", "name": name, "ph": "s",
+                    "id": msg_id,
+                })
+        elif e.kind == "msg.deliver":
+            trace_events.append({
+                **base,
+                "name": f"{name} (deliver)",
+                "ph": "X",
+                "dur": 1,
+            })
+            if msg_id is not None:
+                trace_events.append({
+                    "pid": pid, "tid": max(e.node, 0), "ts": e.ts,
+                    "cat": "flow", "name": name, "ph": "f", "bp": "e",
+                    "id": msg_id,
+                })
         else:
             trace_events.append({
                 **base,

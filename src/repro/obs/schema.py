@@ -14,13 +14,22 @@ any run without knowing which experiment produced it:
       "params": {"nodes": 64, "turns": 6},
       "results": { ... experiment-specific ... },
       "metrics": { ... optional registry snapshot ... },
-      "latency": { ... optional breakdown summary ... }
+      "latency": { ... optional breakdown summary ... },
+      "critpath": { ... optional critical-path attribution ... },
+      "hotspots": { ... optional per-block contention ranking ... }
     }
 
 ``results`` content per experiment is documented in
-``docs/observability.md``.  The envelope is validated (no external
-dependency) by :func:`validate_run_payload`; bump :data:`SCHEMA` if the
-envelope ever changes shape.
+``docs/observability.md``; ``critpath`` is a
+:meth:`~repro.obs.critpath.CritPathAggregator.snapshot` and
+``hotspots`` a :meth:`~repro.obs.hotspot.HotspotTracker.snapshot`.
+The envelope is validated (no external dependency) by
+:func:`validate_run_payload`; bump :data:`SCHEMA` if the envelope ever
+changes shape (adding optional keys is backward-compatible).
+
+For machine consumption as a stream (``repro stats --format jsonl``),
+:func:`run_payload_to_jsonl` flattens the same envelope into one JSON
+record per line, each tagged with a ``record`` discriminator.
 """
 
 from __future__ import annotations
@@ -29,9 +38,17 @@ import json
 import pathlib
 from typing import Any, Mapping
 
-__all__ = ["SCHEMA", "make_run_payload", "validate_run_payload", "dump_run"]
+__all__ = [
+    "SCHEMA",
+    "make_run_payload",
+    "validate_run_payload",
+    "dump_run",
+    "run_payload_to_jsonl",
+]
 
 SCHEMA = "repro.run/1"
+
+_OPTIONAL_SECTIONS = ("metrics", "latency", "critpath", "hotspots")
 
 
 def make_run_payload(
@@ -40,6 +57,8 @@ def make_run_payload(
     results: Mapping[str, Any],
     metrics: Mapping[str, Any] | None = None,
     latency: Mapping[str, Any] | None = None,
+    critpath: Mapping[str, Any] | None = None,
+    hotspots: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble one schema-stable run document."""
     from .. import __version__
@@ -51,10 +70,10 @@ def make_run_payload(
         "params": dict(params),
         "results": dict(results),
     }
-    if metrics is not None:
-        payload["metrics"] = dict(metrics)
-    if latency is not None:
-        payload["latency"] = dict(latency)
+    for key, value in (("metrics", metrics), ("latency", latency),
+                       ("critpath", critpath), ("hotspots", hotspots)):
+        if value is not None:
+            payload[key] = dict(value)
     return payload
 
 
@@ -83,7 +102,7 @@ def validate_run_payload(
     ):
         if not isinstance(payload.get(key), typ):
             raise ValueError(f"run payload field {key!r} missing or not {typ.__name__}")
-    for key in ("metrics", "latency"):
+    for key in _OPTIONAL_SECTIONS:
         if key in payload and not isinstance(payload[key], dict):
             raise ValueError(f"run payload field {key!r} must be an object")
     if experiment is not None and payload["experiment"] != experiment:
@@ -100,3 +119,54 @@ def dump_run(payload: Mapping[str, Any], path) -> None:
     with open(path, "w") as fh:
         json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def run_payload_to_jsonl(payload: Mapping[str, Any]) -> str:
+    """Flatten one run envelope into line-delimited JSON records.
+
+    The stream opens with a ``run`` header (schema, experiment, version,
+    params), then one record per metric / latency key / critpath key /
+    hotspot block, and closes with the experiment ``results``.  Each
+    line is a self-describing object with a ``record`` discriminator, so
+    consumers can ``grep``/``jq`` one record type without parsing the
+    whole envelope:
+
+    .. code-block:: text
+
+        {"record": "run", "schema": "repro.run/1", ...}
+        {"record": "metric", "name": "net.messages", "value": 42}
+        {"record": "latency", "key": "faa/INV", "count": 10, ...}
+        {"record": "critpath", ...}
+        {"record": "hotspot", "block": 7, "score": 1200, ...}
+        {"record": "results", "results": { ... }}
+    """
+    document = validate_run_payload(dict(payload))
+    lines = [json.dumps(
+        {"record": "run", "schema": document["schema"],
+         "experiment": document["experiment"],
+         "version": document["version"], "params": document["params"]},
+        sort_keys=True,
+    )]
+    for name, value in sorted(document.get("metrics", {}).items()):
+        lines.append(json.dumps(
+            {"record": "metric", "name": name, "value": value},
+            sort_keys=True,
+        ))
+    for key, summary in sorted(document.get("latency", {}).items()):
+        row = {"record": "latency", "key": key}
+        row.update(summary if isinstance(summary, dict)
+                   else {"value": summary})
+        lines.append(json.dumps(row, sort_keys=True))
+    critpath = document.get("critpath")
+    if critpath is not None:
+        lines.append(json.dumps({"record": "critpath", **critpath},
+                                sort_keys=True))
+    for block in document.get("hotspots", {}).get("top", []):
+        row = {"record": "hotspot"}
+        row.update(block if isinstance(block, dict) else {"value": block})
+        lines.append(json.dumps(row, sort_keys=True))
+    lines.append(json.dumps(
+        {"record": "results", "results": document["results"]},
+        sort_keys=True,
+    ))
+    return "\n".join(lines)

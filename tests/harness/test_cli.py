@@ -120,3 +120,93 @@ def test_trace_block_filter():
                           "--format", "jsonl"])
     blocks = {json.loads(line).get("block") for line in text.splitlines()}
     assert blocks  # the unfiltered trace does see blocks
+
+
+def test_critpath_subcommand(tmp_path):
+    import json
+
+    from repro.obs.schema import validate_run_payload
+
+    out = tmp_path / "critpath.json"
+    code, text = run_cli(["--nodes", "4", "--turns", "2", "critpath",
+                          "figure3", "--worst", "2", "--json", str(out)])
+    assert code == 0
+    assert "blame by hop kind" in text
+    assert "worst transactions" in text
+    payload = validate_run_payload(out.read_text())
+    critpath = payload["critpath"]
+    assert critpath["txns"] > 0
+    assert sum(critpath["by_kind"].values()) == critpath["cycles"]
+    assert len(critpath["worst"]) <= 2
+    for txn in critpath["worst"]:
+        assert sum(step["cycles"] for step in txn["path"]) == txn["cycles"]
+    assert json.loads(out.read_text())["schema"] == "repro.run/1"
+
+
+def test_hotspots_subcommand(tmp_path):
+    from repro.obs.schema import validate_run_payload
+
+    out = tmp_path / "hotspots.json"
+    code, text = run_cli(["--nodes", "4", "--turns", "2", "hotspots",
+                          "figure3", "--top", "3", "--json", str(out)])
+    assert code == 0
+    assert "contention score" in text
+    payload = validate_run_payload(out.read_text())
+    top = payload["hotspots"]["top"]
+    assert top and top[0]["score"] >= top[-1]["score"]
+    assert len(top) <= 3
+
+
+def test_stats_jsonl_format():
+    import json
+
+    code, text = run_cli(["--nodes", "4", "--turns", "2", "stats",
+                          "figure3", "--format", "jsonl"])
+    assert code == 0
+    records = [json.loads(line) for line in text.splitlines()]
+    kinds = [r["record"] for r in records]
+    assert kinds[0] == "run" and kinds[-1] == "results"
+    assert "metric" in kinds and "latency" in kinds
+    assert "critpath" in kinds and "hotspot" in kinds
+
+
+def test_stats_json_envelope_carries_critpath_and_hotspots(tmp_path):
+    from repro.obs.schema import validate_run_payload
+
+    out = tmp_path / "stats.json"
+    code, _ = run_cli(["--nodes", "4", "--turns", "2", "stats", "figure3",
+                       "--json", str(out)])
+    assert code == 0
+    payload = validate_run_payload(out.read_text())
+    assert "critpath" in payload and "hotspots" in payload
+    assert payload["results"]["transactions"] > 0
+
+
+def test_report_subcommand(tmp_path):
+    run_json = tmp_path / "run.json"
+    code, _ = run_cli(["--nodes", "4", "table1", "--json", str(run_json)])
+    assert code == 0
+
+    # default output: input path with .html suffix
+    code, text = run_cli(["report", str(run_json)])
+    assert code == 0
+    default_out = tmp_path / "run.html"
+    assert default_out.exists()
+    assert str(default_out) in text
+
+    target = tmp_path / "sub" / "report.html"
+    code, _ = run_cli(["report", str(run_json), "-o", str(target),
+                       "--title", "CLI report"])
+    assert code == 0
+    html = target.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "CLI report" in html
+    for panel in ("panel-1", "panel-2", "panel-3", "panel-4"):
+        assert panel in html
+
+
+def test_report_rejects_invalid_json(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "nope"}')
+    with pytest.raises(ValueError):
+        run_cli(["report", str(bad)])

@@ -22,6 +22,22 @@ def test_float_formatting():
     assert "3.1" in out and "3.14159" not in out
 
 
+def test_small_floats_keep_significant_digits():
+    """Sub-0.05 rates must not collapse to an indistinguishable 0.0."""
+    out = render_table(["v"], [[0.0123], [0.0004], [0.0], [-0.02]])
+    lines = out.splitlines()
+    assert "0.012" in lines[2]
+    assert "0.0004" in lines[3]
+    assert lines[4].strip() == "0.0"        # a true zero still reads 0.0
+    assert "-0.02" in lines[5]
+
+
+def test_histogram_small_percentages_visible():
+    out = render_histogram({1: 99.96, 7: 0.04})
+    assert "0.04%" in out
+    assert " 0.0%" not in out
+
+
 def test_histogram_bars_scale():
     out = render_histogram({1: 80.0, 4: 20.0}, title="H")
     lines = out.splitlines()

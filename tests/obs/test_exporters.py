@@ -55,17 +55,35 @@ def test_jsonl_one_valid_object_per_line():
 def test_chrome_trace_shape():
     doc = json.loads(to_chrome_trace(_sample_events()))
     events = doc["traceEvents"]
-    # msg.deliver is folded into the msg.send slice.
-    assert len(events) == 2
+    # send slice + flow start, deliver slice + flow finish, one instant.
+    assert len(events) == 5
     for e in events:
         assert "ph" in e and "ts" in e and "pid" in e
-    slice_, instant = events
-    assert slice_["ph"] == "X"
-    assert slice_["name"] == "GETX"
-    assert slice_["dur"] == 5
-    assert slice_["tid"] == 2
+    send, flow_s, deliver, flow_f, instant = events
+    assert send["ph"] == "X"
+    assert send["name"] == "GETX"
+    assert send["dur"] == 5
+    assert send["tid"] == 2
+    assert flow_s["ph"] == "s"
+    assert flow_s["id"] == 0
+    assert flow_s["tid"] == 2
+    assert deliver["ph"] == "X"
+    assert deliver["name"] == "GETX (deliver)"
+    assert deliver["tid"] == 1
+    assert flow_f["ph"] == "f"
+    assert flow_f["bp"] == "e"
+    assert flow_f["id"] == 0
+    assert flow_f["tid"] == 1
     assert instant["ph"] == "i"
     assert instant["name"] == "cache.transition"
+
+
+def test_chrome_trace_flow_events_pair_up():
+    """Every flow start has a matching finish with the same id."""
+    doc = json.loads(to_chrome_trace(_sample_events()))
+    starts = {e["id"] for e in doc["traceEvents"] if e["ph"] == "s"}
+    finishes = {e["id"] for e in doc["traceEvents"] if e["ph"] == "f"}
+    assert starts and starts == finishes
 
 
 def test_chrome_trace_from_real_machine():
@@ -81,9 +99,12 @@ def test_chrome_trace_from_real_machine():
     assert doc["traceEvents"], "a store transaction must produce events"
     for e in doc["traceEvents"]:
         assert "ph" in e and "ts" in e and "pid" in e
-        assert e["ph"] in ("X", "i")
+        assert e["ph"] in ("X", "i", "s", "f")
         if e["ph"] == "X":
             assert e["dur"] >= 0
+    starts = {e["id"] for e in doc["traceEvents"] if e["ph"] == "s"}
+    finishes = {e["id"] for e in doc["traceEvents"] if e["ph"] == "f"}
+    assert starts == finishes
 
 
 def test_export_events_dispatch():

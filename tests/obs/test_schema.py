@@ -1,0 +1,80 @@
+"""The repro.run/1 envelope: optional sections and the JSONL flattening."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import (
+    SCHEMA,
+    make_run_payload,
+    run_payload_to_jsonl,
+    validate_run_payload,
+)
+
+
+def _full_payload():
+    return make_run_payload(
+        "demo", params={"nodes": 4},
+        results={"answer": 42},
+        metrics={"net.messages": 7},
+        latency={"faa/INV": {"count": 2, "mean": 10.0, "p50": 9,
+                             "p95": 11, "max": 11}},
+        critpath={"txns": 2, "cycles": 20, "by_kind": {"msg": 20},
+                  "by_component": {}, "keys": {}, "worst": []},
+        hotspots={"window": 256, "blocks_seen": 1,
+                  "top": [{"block": 0, "score": 12}]},
+    )
+
+
+def test_optional_sections_kept_and_validated():
+    payload = _full_payload()
+    assert set(payload) == {"schema", "experiment", "version", "params",
+                            "results", "metrics", "latency", "critpath",
+                            "hotspots"}
+    assert validate_run_payload(payload) is payload
+    for key in ("critpath", "hotspots"):
+        bad = dict(payload)
+        bad[key] = "nope"
+        with pytest.raises(ValueError, match=key):
+            validate_run_payload(bad)
+
+
+def test_sections_absent_when_not_given():
+    payload = make_run_payload("demo", params={}, results={})
+    assert "critpath" not in payload and "hotspots" not in payload
+    validate_run_payload(payload)
+
+
+def test_jsonl_one_record_per_line_with_discriminator():
+    lines = run_payload_to_jsonl(_full_payload()).splitlines()
+    records = [json.loads(line) for line in lines]
+    kinds = [r["record"] for r in records]
+    assert kinds[0] == "run" and kinds[-1] == "results"
+    assert kinds.count("metric") == 1
+    assert kinds.count("latency") == 1
+    assert kinds.count("critpath") == 1
+    assert kinds.count("hotspot") == 1
+    header = records[0]
+    assert header["schema"] == SCHEMA
+    assert header["experiment"] == "demo"
+    by_kind = {r["record"]: r for r in records}
+    assert by_kind["metric"] == {"record": "metric",
+                                 "name": "net.messages", "value": 7}
+    assert by_kind["latency"]["key"] == "faa/INV"
+    assert by_kind["latency"]["p95"] == 11
+    assert by_kind["critpath"]["cycles"] == 20
+    assert by_kind["hotspot"]["block"] == 0
+    assert by_kind["results"]["results"] == {"answer": 42}
+
+
+def test_jsonl_minimal_payload():
+    lines = run_payload_to_jsonl(
+        make_run_payload("demo", params={}, results={})
+    ).splitlines()
+    kinds = [json.loads(line)["record"] for line in lines]
+    assert kinds == ["run", "results"]
+
+
+def test_jsonl_validates_first():
+    with pytest.raises(ValueError):
+        run_payload_to_jsonl({"schema": "bogus", "results": {}})
