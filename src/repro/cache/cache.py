@@ -95,6 +95,10 @@ class Cache:
         self._sets: dict[int, dict[int, CacheLine]] = {}
         self._tick = 0
         self.stats = CacheStats(registry, prefix=name)
+        # Raw registry counters behind the stats shims (lookup is on the
+        # per-operation fast path).
+        self._c_hits = self.stats._hits
+        self._c_misses = self.stats._misses
 
     def _set_for(self, block: int) -> dict[int, CacheLine]:
         index = block % self.n_sets
@@ -111,15 +115,17 @@ class Cache:
         toward the hit/miss statistics; ``touch=False`` peeks from the
         protocol engines do not.
         """
-        line = self._set_for(block).get(block)
+        group = self._sets.get(block % self.n_sets)
+        line = group.get(block) if group is not None else None
         if line is None or not line.valid:
             if touch:
-                self.stats.misses += 1
+                self._c_misses.value += 1
             return None
         if touch:
-            self.stats.hits += 1
-            self._tick += 1
-            line.last_use = self._tick
+            self._c_hits.value += 1
+            tick = self._tick + 1
+            self._tick = tick
+            line.last_use = tick
         return line
 
     def install(

@@ -47,6 +47,12 @@ an experiment instead of regenerating it in full (see
   ranking (queue-wait cycles, invalidation multicasts, failed atomics,
   directory-queue depth).
 
+``repro perf [--quick] [--json OUT]`` runs the fixed-workload
+wall-clock microbenchmarks of the simulation kernel itself (event core,
+coherence storm, mesh saturation, mini Table 1; see
+:mod:`repro.harness.perf` and ``docs/performance.md``) and can write the
+``BENCH_PERF.json`` envelope that CI's perf-regression gate consumes.
+
 Finally, ``repro report RUN.json [-o report.html]`` renders any
 ``repro.run/1`` document — from ``--json`` or a benchmark — into a
 single self-contained HTML file (inline SVG, no network access; see
@@ -191,6 +197,20 @@ def build_parser() -> argparse.ArgumentParser:
     hotspots.add_argument("--top", type=int, default=10,
                           help="blocks to list (default 10)")
     _add_common(hotspots, top_level=False)
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock microbenchmarks of the simulation kernel",
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="small workloads (CI smoke: seconds, not "
+                           "minutes)")
+    perf.add_argument("--reps", type=int, default=None,
+                      help="timed repetitions per kernel, best-of "
+                           "(default: 2 quick, 3 full)")
+    perf.add_argument("--kernel", action="append", default=None,
+                      dest="kernels", metavar="NAME",
+                      help="run only this kernel (repeatable; default all)")
+    _add_common(perf, top_level=False)
     report = sub.add_parser(
         "report",
         help="render a repro.run/1 JSON document as self-contained HTML",
@@ -368,8 +388,11 @@ def _cmd_stats(args, out) -> int:
     if args.fmt == "jsonl":
         text = run_payload_to_jsonl(payload)
     else:
+        perf = payload["perf"]
         text = "\n".join([
             f"stats — {args.experiment}: {run.description}",
+            f"perf: {perf['wall_seconds']:.3f}s wall, "
+            f"{perf['events_per_second']:,.0f} events/s",
             "",
             run.machine.registry.render(),
             "",
@@ -411,6 +434,21 @@ def _cmd_hotspots(args, out) -> int:
           results={"description": run.description,
                    "transactions": len(run.spans.completed)},
           hotspots=run.hotspots.snapshot(top_n=args.top))
+    return 0
+
+
+def _cmd_perf(args, out) -> int:
+    from .harness.perf import perf_payload, render_perf, run_perf
+
+    results = run_perf(quick=args.quick, reps=args.reps,
+                       kernels=args.kernels)
+    text = render_perf(results)
+    out(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "perf.txt").write_text(text + "\n")
+    if args.json is not None:
+        dump_run(perf_payload(results), args.json)
     return 0
 
 
@@ -459,6 +497,7 @@ _COMMANDS: dict[str, Callable] = {
     "figure6": _cmd_figure6,
     "ablation-reservations": _cmd_ablation_reservations,
     "ablation-dropcopy": _cmd_ablation_dropcopy,
+    "perf": _cmd_perf,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "critpath": _cmd_critpath,

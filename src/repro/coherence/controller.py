@@ -216,6 +216,17 @@ class CacheController:
         # exceptions reset the LLbit on real processors).
         self._spurious_rate = config.spurious_sc_rate
         self._spurious_rng = random.Random((config.seed << 8) ^ node)
+        # Hot-path caches (cProfile-guided): timing constants off the
+        # frozen config, raw registry counters behind the stats shims,
+        # and bound address-service methods, all resolved once.
+        timing = config.timing
+        self._t_hit = timing.cache_hit
+        self._t_occ = timing.controller_occupancy
+        self._c_ops = self.stats._ops
+        self._c_local_hits = self.stats._local_hits
+        self._block_of = machine.block_of
+        self._offset_of = machine.offset_of
+        self._policy_of = machine.policy_of
         mesh.register(node, Unit.CACHE, self.handle)
 
     # ==================================================================
@@ -262,13 +273,15 @@ class CacheController:
 
     def execute(self, op: Any, callback: Callback) -> None:
         """Perform ``op`` and eventually call ``callback(result)``."""
-        self.stats.ops += 1
+        self._c_ops.value += 1
         addr = getattr(op, "addr", None)
-        block = self.machine.block_of(addr) if addr is not None else None
-        policy = self.machine.policy_of(block) if block is not None else None
-        self._emit("atomic.start", self.sim.now, op=type(op).__name__,
-                   addr=addr, block=block,
-                   policy=policy.value if policy is not None else None)
+        block = self._block_of(addr) if addr is not None else None
+        policy = self._policy_of(block) if block is not None else None
+        if self.events.active:
+            self.events.emit(
+                "atomic.start", self.sim.now, node=self.node,
+                op=type(op).__name__, addr=addr, block=block,
+                policy=policy.value if policy is not None else None)
         if isinstance(op, DropCopy):
             self._drop_copy(op, callback)
             return
@@ -513,21 +526,22 @@ class CacheController:
         atomic: bool = False,
     ) -> None:
         """Complete an operation that was satisfied locally."""
-        self.stats.local_hits += 1
+        self._c_local_hits.value += 1
         self.last_chain = 0
         self.machine.stats.note_access(addr, self.node, is_write)
-        delay = (self.config.timing.controller_occupancy if atomic
-                 else self.config.timing.cache_hit)
-        self._emit("atomic.complete", self.sim.now + delay, addr=addr,
-                   local=True)
+        delay = self._t_occ if atomic else self._t_hit
+        if self.events.active:
+            self.events.emit("atomic.complete", self.sim.now + delay,
+                             node=self.node, addr=addr, local=True)
         self.sim.schedule(delay, callback, result)
 
     def _hit_result(self, result: Any, callback: Callback) -> None:
         """Complete a local operation that touched no memory state."""
         self.last_chain = 0
-        self._emit("atomic.complete",
-                   self.sim.now + self.config.timing.cache_hit, local=True)
-        self.sim.schedule(self.config.timing.cache_hit, callback, result)
+        if self.events.active:
+            self.events.emit("atomic.complete", self.sim.now + self._t_hit,
+                             node=self.node, local=True)
+        self.sim.schedule(self._t_hit, callback, result)
 
     def _start_txn(
         self,
@@ -562,15 +576,9 @@ class CacheController:
         chain = txn.chain + (1 if home != self.node else 0)
         txn.note_chain(chain)
         self.mesh.send(
-            Message(
-                mtype=txn.request_mtype,
-                src=self.node,
-                dst=home,
-                unit=Unit.HOME,
-                block=txn.block,
-                txn=txn,
-                chain=chain,
-                requester=self.node,
+            Message.acquire(
+                txn.request_mtype, self.node, home, Unit.HOME, txn.block,
+                txn=txn, chain=chain, requester=self.node,
                 payload=dict(txn.request_payload),
             )
         )
@@ -578,8 +586,8 @@ class CacheController:
     def _send_unsolicited(self, mtype: MessageType, block: int, **payload) -> None:
         home = self.machine.home_of(block)
         self.mesh.send(
-            Message(mtype=mtype, src=self.node, dst=home, unit=Unit.HOME,
-                    block=block, chain=0, requester=self.node, payload=payload)
+            Message.acquire(mtype, self.node, home, Unit.HOME, block,
+                            chain=0, requester=self.node, payload=payload)
         )
 
     def _reply_to(
@@ -587,9 +595,9 @@ class CacheController:
     ) -> None:
         chain = msg.chain + (1 if dst != self.node else 0)
         self.mesh.send(
-            Message(mtype=mtype, src=self.node, dst=dst, unit=unit,
-                    block=msg.block, txn=msg.txn, chain=chain,
-                    requester=msg.requester, payload=payload)
+            Message.acquire(mtype, self.node, dst, unit, msg.block,
+                            txn=msg.txn, chain=chain,
+                            requester=msg.requester, payload=payload)
         )
 
     # ==================================================================
@@ -600,15 +608,20 @@ class CacheController:
         """Delivery point for all CACHE-unit messages at this node."""
         mtype = msg.mtype
         if mtype in _REPLIES:
+            # Replies are parked in txn.reply — never pooled here.
             self._on_reply(msg)
         elif mtype in _ACKS:
             self._on_ack(msg)
+            Message.release(msg)
         elif mtype is MessageType.OWNER_NAK:
             self._on_owner_nak(msg)
+            Message.release(msg)
         elif mtype is MessageType.INV:
             self._on_inv(msg)
+            Message.release(msg)
         elif mtype is MessageType.UPDATE:
             self._on_update(msg)
+            Message.release(msg)
         elif mtype in _RECALLS:
             txn = self.mshr.current
             if (txn is not None and txn.block == msg.block

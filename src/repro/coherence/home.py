@@ -47,6 +47,20 @@ _REQUESTS = frozenset(
     }
 )
 
+# Home-bound message types that are fully consumed by their dispatch
+# handler: never parked in ``entry.pending`` (that holds the *request*),
+# ``entry.waiters`` (requests only), or an MSHR — so their shells can go
+# back to the message pool immediately after dispatch.
+_CONSUMED = frozenset(
+    {
+        MessageType.FLUSH_REPLY,
+        MessageType.SHARE_WB,
+        MessageType.FLUSH_NAK,
+        MessageType.WB,
+        MessageType.DROP,
+    }
+)
+
 
 class HomeNode:
     """Directory controller + memory-side ALU for one node's memory."""
@@ -73,6 +87,8 @@ class HomeNode:
             registry = MetricsRegistry()
         self._requests = registry.counter(f"home.{node}.requests")
         self._queued = registry.counter(f"home.{node}.queued")
+        self._service = memory.service
+        self._t_directory = memory.config.timing.directory_service
         mesh.register(node, Unit.HOME, self.handle)
 
     # ------------------------------------------------------------------
@@ -85,34 +101,38 @@ class HomeNode:
         Drop notices only touch directory state (no DRAM data), so they
         occupy the module for the shorter directory-service time.
         """
-        self._requests.inc()
+        self._requests.value += 1
         if msg.mtype is MessageType.DROP:
-            service = self.memory.config.timing.directory_service
-            self.memory.service(self._process, msg, service_time=service,
-                                txn=msg.txn, block=msg.block,
-                                mtype=msg.mtype.value,
-                                requester=msg.requester)
+            self._service(self._process, msg, service_time=self._t_directory,
+                          txn=msg.txn, block=msg.block, mtype="DROP",
+                          requester=msg.requester)
         else:
-            self.memory.service(self._process, msg, txn=msg.txn,
-                                block=msg.block, mtype=msg.mtype.value,
-                                requester=msg.requester)
+            self._service(self._process, msg, txn=msg.txn,
+                          block=msg.block, mtype=msg.mtype.value,
+                          requester=msg.requester)
 
     def _process(self, msg: Message) -> None:
-        entry = self.directory.entry(msg.block)
-        if msg.mtype in _REQUESTS and entry.busy:
-            self._queued.inc()
-            if self.events.active:
-                holder = (entry.pending.requester
-                          if entry.pending is not None else None)
-                self.events.emit(
-                    "dir.queue.enter", self.machine.sim.now, node=self.node,
-                    block=msg.block, mtype=msg.mtype.value,
-                    requester=msg.requester, depth=len(entry.waiters) + 1,
-                    holder=holder,
-                )
-            entry.waiters.append(msg)
-            return
-        self._dispatch(msg)
+        mtype = msg.mtype
+        if mtype in _REQUESTS:
+            entry = self.directory.entry(msg.block)
+            if entry.busy:
+                self._queued.value += 1
+                if self.events.active:
+                    holder = (entry.pending.requester
+                              if entry.pending is not None else None)
+                    self.events.emit(
+                        "dir.queue.enter", self.machine.sim.now,
+                        node=self.node, block=msg.block, mtype=mtype.value,
+                        requester=msg.requester,
+                        depth=len(entry.waiters) + 1, holder=holder,
+                    )
+                entry.waiters.append(msg)
+                return
+            self._dispatch(msg)
+        else:
+            self._dispatch(msg)
+            if mtype in _CONSUMED:
+                Message.release(msg)
 
     def _dispatch(self, msg: Message) -> None:
         mtype = msg.mtype
@@ -156,15 +176,9 @@ class HomeNode:
         """
         chain = prev.chain + (1 if dst != self.node else 0)
         self.mesh.send(
-            Message(
-                mtype=mtype,
-                src=self.node,
-                dst=dst,
-                unit=unit,
-                block=prev.block,
-                txn=prev.txn,
-                chain=chain,
-                requester=prev.requester,
+            Message.acquire(
+                mtype, self.node, dst, unit, prev.block,
+                txn=prev.txn, chain=chain, requester=prev.requester,
                 payload=payload,
             )
         )

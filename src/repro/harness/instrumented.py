@@ -21,6 +21,7 @@ tracker, span graphs, and recorded events can be rendered or exported.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
@@ -69,6 +70,15 @@ class InstrumentedRun:
     recorder: EventRecorder
     spans: SpanBuilder
     hotspots: HotspotTracker
+    #: Wall-clock seconds the run itself took (machine build + program).
+    wall_seconds: float = 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulated events executed per wall-clock second."""
+        if not self.wall_seconds:
+            return 0.0
+        return self.machine.sim.events_processed / self.wall_seconds
 
     def critpath(self, worst: int = 8) -> CritPathAggregator:
         """Critical-path attribution over the run's remote transactions."""
@@ -96,6 +106,10 @@ class InstrumentedRun:
             latency=self.machine.stats.latency.snapshot(),
             critpath=self.critpath().snapshot(),
             hotspots=self.hotspots.snapshot(top_n=top_hotspots),
+            perf={
+                "wall_seconds": round(self.wall_seconds, 6),
+                "events_per_second": round(self.events_per_second, 1),
+            },
         )
 
 
@@ -236,12 +250,15 @@ def run_instrumented(
         raise ConfigError(
             f"unknown experiment {experiment!r}; choose from: {known}"
         ) from None
+    t0 = time.perf_counter()
     machine, instruments, description = runner(
         config or small_config(n_nodes=4), turns, blocks
     )
+    wall = time.perf_counter() - t0
     return InstrumentedRun(
         experiment, description, machine,
         recorder=instruments.recorder,
         spans=instruments.spans,
         hotspots=instruments.hotspots,
+        wall_seconds=wall,
     )

@@ -83,6 +83,12 @@ class MemoryModule:
         self._blocks: dict[int, list[int]] = {}
         self._next_free = 0
         self.stats = MemoryStats(registry, prefix=f"mem.{node}")
+        # Hot-path caches: raw counters behind the stats shims and the
+        # frozen service time, resolved once.
+        self._c_accesses = self.stats._accesses
+        self._c_queue_wait = self.stats._total_queue_wait
+        self._observe_wait = self.stats.queue_wait_hist.observe
+        self._t_service = config.timing.memory_service
 
     # ------------------------------------------------------------------
     # Data access (zero latency; timing is applied via `service`).
@@ -140,22 +146,28 @@ class MemoryModule:
         breakdown.  ``block``/``mtype``/``requester`` only describe the
         request on the ``mem.service`` event stream (when anyone listens).
         """
-        now = self.sim.now
-        start = max(now, self._next_free)
-        service = (self.config.timing.memory_service
-                   if service_time is None else service_time)
-        self._next_free = start + service
-        self.stats.accesses += 1
-        self.stats.total_queue_wait += start - now
-        self.stats.queue_wait_hist.observe(start - now)
-        breakdown = getattr(txn, "breakdown", None)
-        if breakdown is not None:
-            breakdown.credit("queue", start)
-            breakdown.credit("memory", start + service)
-        if self.events is not None and self.events.active:
-            self.events.emit(
-                "mem.service", start + service, node=self.node,
+        sim = self.sim
+        now = sim._now
+        start = self._next_free
+        if start < now:
+            start = now
+        service = self._t_service if service_time is None else service_time
+        end = start + service
+        self._next_free = end
+        self._c_accesses.value += 1
+        wait = start - now
+        self._c_queue_wait.value += wait
+        self._observe_wait(wait)
+        if txn is not None:
+            breakdown = getattr(txn, "breakdown", None)
+            if breakdown is not None:
+                breakdown.credit("queue", start)
+                breakdown.credit("memory", end)
+        events = self.events
+        if events is not None and events.active:
+            events.emit(
+                "mem.service", end, node=self.node,
                 arrival=now, start=start, block=block, mtype=mtype,
                 requester=requester, has_txn=txn is not None,
             )
-        self.sim.schedule(start + service - now, fn, *args)
+        sim.schedule(end - now, fn, *args)

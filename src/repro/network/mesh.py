@@ -27,14 +27,14 @@ new code should subscribe to the bus instead (see
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..config import SimConfig
 from ..errors import SimulationError
 from ..obs.events import EventBus
 from ..obs.registry import MetricsRegistry
 from ..sim.engine import Simulator
-from .message import Message, Unit
+from .message import Message, MessageType, Unit
 from .topology import Mesh2D
 
 __all__ = ["WormholeMesh", "NetworkStats"]
@@ -103,6 +103,15 @@ class NetworkStats:
         """Messages per type (``net.by_type.<TYPE>`` counters)."""
         return {key: counter.value for key, counter in self._by_type.items()}
 
+    def type_counter(self, key: str):
+        """The (lazily created) ``net.by_type.<key>`` counter."""
+        counter = self._by_type.get(key)
+        if counter is None:
+            counter = self._by_type[key] = self.registry.counter(
+                f"net.by_type.{key}"
+            )
+        return counter
+
     def record(self, msg: Message, flits: int, latency: int, local: bool) -> None:
         """Account one delivered message."""
         if local:
@@ -112,13 +121,7 @@ class NetworkStats:
             self._flits.inc(flits)
             self._total_latency.inc(latency)
             self._latency_hist.observe(latency)
-        key = msg.mtype.value
-        counter = self._by_type.get(key)
-        if counter is None:
-            counter = self._by_type[key] = self.registry.counter(
-                f"net.by_type.{key}"
-            )
-        counter.inc()  # type: ignore[union-attr]
+        self.type_counter(msg.mtype.value).inc()  # type: ignore[union-attr]
 
     @property
     def mean_latency(self) -> float:
@@ -140,8 +143,14 @@ class WormholeMesh:
         self.sim = sim
         self.config = config
         machine = config.machine
+        timing = config.timing
         self.topology = Mesh2D(machine.n_nodes, machine.mesh_width)
         self._handlers: dict[tuple[int, Unit], Handler] = {}
+        # Per-unit handler vectors: one dict probe + one list index on
+        # the send fast path instead of a tuple-keyed dict lookup.
+        self._unit_handlers: dict[Unit, list[Optional[Handler]]] = {
+            unit: [None] * machine.n_nodes for unit in Unit
+        }
         # Earliest cycle at which each port can begin accepting a message.
         self._entry_free = [0] * machine.n_nodes
         self._exit_free = [0] * machine.n_nodes
@@ -149,17 +158,35 @@ class WormholeMesh:
         self.events = events if events is not None else EventBus()
         # Legacy single-slot observer(msg, send_time, deliver_time) hook.
         self.observer: Callable[[Message, int, int], None] | None = None
+        # Hot-path caches: flit sizes per message type, timing constants,
+        # the topology's distance rows, and the raw registry counters
+        # (bypassing the NetworkStats property shims).  All are pure
+        # derivations of frozen config / construction-time state.
+        data_flits = machine.data_flits(timing)
+        self._flits_by_type = {
+            mtype: data_flits if mtype.carries_data else timing.header_flits
+            for mtype in MessageType
+        }
+        self._local_access = timing.local_access
+        self._flit_cycles = timing.flit_cycles
+        self._hop_cycles = timing.hop_cycles
+        self._dist = self.topology._dist
+        stats = self.stats
+        self._c_messages = stats._messages
+        self._c_local = stats._local_messages
+        self._c_flits = stats._flits
+        self._c_latency = stats._total_latency
+        self._latency_hist = stats._latency_hist
+        self._type_counters: dict[MessageType, Any] = {}
 
     def register(self, node: int, unit: Unit, handler: Handler) -> None:
         """Install the delivery handler for ``unit`` at ``node``."""
         self._handlers[(node, unit)] = handler
+        self._unit_handlers[unit][node] = handler
 
     def message_flits(self, msg: Message) -> int:
         """Size of ``msg`` in flits."""
-        timing = self.config.timing
-        if msg.mtype.carries_data:
-            return self.config.machine.data_flits(timing)
-        return timing.header_flits
+        return self._flits_by_type[msg.mtype]
 
     def _observe(self, msg: Message, sent: int, delivered: int) -> None:
         """Feed the legacy observer and the event bus (no sim effects)."""
@@ -184,38 +211,68 @@ class WormholeMesh:
                      **fields)
 
     def send(self, msg: Message) -> None:
-        """Inject ``msg``; schedules its delivery at the destination."""
-        handler = self._handlers.get((msg.dst, msg.unit))
+        """Inject ``msg``; schedules its delivery at the destination.
+
+        This is the hottest non-engine function in the machine; the
+        timing model is identical to the long-hand form it replaces
+        (entry-port serialize, wormhole transit, exit-port drain), with
+        every constant and counter pre-resolved at construction.
+        """
+        dst = msg.dst
+        try:
+            handler = self._unit_handlers[msg.unit][dst]
+        except (KeyError, IndexError):
+            handler = None
         if handler is None:
             raise SimulationError(
-                f"no handler registered for node {msg.dst} unit {msg.unit}"
+                f"no handler registered for node {dst} unit {msg.unit}"
             )
-        timing = self.config.timing
-        flits = self.message_flits(msg)
-        now = self.sim.now
+        mtype = msg.mtype
+        flits = self._flits_by_type[mtype]
+        sim = self.sim
+        now = sim._now
+        src = msg.src
 
-        if msg.src == msg.dst:
+        if src == dst:
             # Node-local: cache <-> local memory over the node bus.
-            done = now + timing.local_access
-            self.stats.record(msg, flits, timing.local_access, local=True)
+            done = now + self._local_access
+            self._c_local.value += 1
         else:
-            serialize = flits * timing.flit_cycles
+            flit_cycles = self._flit_cycles
+            serialize = flits * flit_cycles
             # Entry-port queuing at the source.
-            inject = max(now, self._entry_free[msg.src])
-            self._entry_free[msg.src] = inject + serialize
-            # Wormhole transit.
-            hops = self.topology.distance(msg.src, msg.dst)
-            head_arrival = inject + hops * timing.hop_cycles
-            tail_arrival = head_arrival + (flits - 1) * timing.flit_cycles
+            entry_free = self._entry_free
+            inject = entry_free[src]
+            if inject < now:
+                inject = now
+            entry_free[src] = inject + serialize
+            # Wormhole transit: head flit pays the hops, tail streams.
+            tail_arrival = (inject + self._dist[src][dst] * self._hop_cycles
+                            + (flits - 1) * flit_cycles)
             # Exit-port queuing at the destination.
-            ready = max(tail_arrival, self._exit_free[msg.dst])
-            self._exit_free[msg.dst] = ready + serialize
+            exit_free = self._exit_free
+            ready = exit_free[dst]
+            if ready < tail_arrival:
+                ready = tail_arrival
+            exit_free[dst] = ready + serialize
             done = ready + serialize
-            self.stats.record(msg, flits, done - now, local=False)
+            latency = done - now
+            self._c_messages.value += 1
+            self._c_flits.value += flits
+            self._c_latency.value += latency
+            self._latency_hist.observe(latency)
+        type_counter = self._type_counters.get(mtype)
+        if type_counter is None:
+            type_counter = self._type_counters[mtype] = (
+                self.stats.type_counter(mtype.value)
+            )
+        type_counter.value += 1
 
-        breakdown = getattr(msg.txn, "breakdown", None)
-        if breakdown is not None:
-            breakdown.credit("network", done)
+        txn = msg.txn
+        if txn is not None:
+            breakdown = getattr(txn, "breakdown", None)
+            if breakdown is not None:
+                breakdown.credit("network", done)
         if self.observer is not None or self.events.active:
             self._observe(msg, now, done)
-        self.sim.schedule(done - now, handler, msg)
+        sim.schedule(done - now, handler, msg)

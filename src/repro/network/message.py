@@ -6,14 +6,22 @@ that preceded it (inclusive) within its transaction — the quantity the
 paper's Table 1 reports.  When a component forwards or answers a message it
 constructs the successor with ``chain = incoming.chain + 1``; messages sent
 in parallel (e.g. an invalidation multicast) share the same chain value.
+
+``Message`` is a ``__slots__`` class with a free-list pool
+(:meth:`Message.acquire` / :meth:`Message.release`): the coherence layers
+churn through short-lived messages at a rate where allocator pressure
+shows up in profiles, so handlers that *know* a message holds no live
+references return it to the pool (see ``docs/performance.md`` for the
+safety argument).  ``msg_id`` always comes off the global counter, so
+ids — and therefore traces — are identical whether or not the pool ever
+hits.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 __all__ = ["MessageType", "Unit", "Message"]
 
@@ -89,7 +97,6 @@ _DATA_MESSAGES = frozenset(
 )
 
 
-@dataclass
 class Message:
     """One protocol message in flight.
 
@@ -107,16 +114,110 @@ class Message:
             words, ack counts, ...).
     """
 
-    mtype: MessageType
-    src: int
-    dst: int
-    unit: Unit
-    block: int
-    txn: Any = None
-    chain: int = 1
-    requester: int = -1
-    payload: dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("mtype", "src", "dst", "unit", "block", "txn", "chain",
+                 "requester", "payload", "msg_id", "_pooled")
+
+    #: Shared free list.  Bounded so a pathological burst cannot pin an
+    #: unbounded amount of memory after the burst subsides.
+    _pool: "list[Message]" = []
+    _pool_max = 1024
+
+    def __init__(
+        self,
+        mtype: MessageType,
+        src: int,
+        dst: int,
+        unit: Unit,
+        block: int,
+        txn: Any = None,
+        chain: int = 1,
+        requester: int = -1,
+        payload: Optional[dict[str, Any]] = None,
+        msg_id: Optional[int] = None,
+    ) -> None:
+        self.mtype = mtype
+        self.src = src
+        self.dst = dst
+        self.unit = unit
+        self.block = block
+        self.txn = txn
+        self.chain = chain
+        self.requester = requester
+        self.payload = {} if payload is None else payload
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
+        self._pooled = False
+
+    # ------------------------------------------------------------------
+    # Free-list pool.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def acquire(
+        cls,
+        mtype: MessageType,
+        src: int,
+        dst: int,
+        unit: Unit,
+        block: int,
+        txn: Any = None,
+        chain: int = 1,
+        requester: int = -1,
+        payload: Optional[dict[str, Any]] = None,
+    ) -> "Message":
+        """Construct a message, reusing a pooled shell when one exists.
+
+        Always draws a fresh ``msg_id``, so acquired messages are
+        indistinguishable from directly constructed ones.
+        """
+        pool = cls._pool
+        if pool:
+            self = pool.pop()
+            self.mtype = mtype
+            self.src = src
+            self.dst = dst
+            self.unit = unit
+            self.block = block
+            self.txn = txn
+            self.chain = chain
+            self.requester = requester
+            self.payload = {} if payload is None else payload
+            self.msg_id = next(_msg_ids)
+            self._pooled = False
+            return self
+        return cls(mtype, src, dst, unit, block, txn, chain, requester, payload)
+
+    @classmethod
+    def release(cls, msg: "Message") -> None:
+        """Return ``msg`` to the free list (idempotent).
+
+        The caller asserts that no component retains a reference — in
+        this machine that is every message type that is consumed
+        synchronously by its handler and never parked in ``txn.reply``,
+        a directory entry, or an MSHR.  Reference-holding fields are
+        cleared so pooled shells keep nothing alive.
+        """
+        if msg._pooled:
+            return
+        msg._pooled = True
+        msg.txn = None
+        msg.payload = {}
+        pool = cls._pool
+        if len(pool) < cls._pool_max:
+            pool.append(msg)
+
+    @classmethod
+    def pool_size(cls) -> int:
+        """Messages currently parked on the free list."""
+        return len(cls._pool)
+
+    @classmethod
+    def pool_clear(cls) -> None:
+        """Drop every pooled shell (test isolation hook)."""
+        cls._pool.clear()
+
+    # ------------------------------------------------------------------
+    # Transaction chaining.
+    # ------------------------------------------------------------------
 
     def successor(
         self,
@@ -127,16 +228,10 @@ class Message:
         **payload: Any,
     ) -> "Message":
         """Build the next serialized message in this transaction."""
-        return Message(
-            mtype=mtype,
-            src=src,
-            dst=dst,
-            unit=unit,
-            block=self.block,
-            txn=self.txn,
-            chain=self.chain + 1,
-            requester=self.requester,
-            payload=payload,
+        return Message.acquire(
+            mtype, src, dst, unit, self.block,
+            txn=self.txn, chain=self.chain + 1,
+            requester=self.requester, payload=payload,
         )
 
     def sibling(

@@ -27,6 +27,13 @@ class Mesh2D:
         self.n_nodes = n_nodes
         self.width = width
         self.height = -(-n_nodes // width)
+        # Precomputed Manhattan distances, row per source node.  The
+        # mesh indexes this directly on its per-message fast path;
+        # `distance()` keeps the bounds-checked public face.
+        xy = [(node % width, node // width) for node in range(n_nodes)]
+        self._dist: list[list[int]] = [
+            [abs(ax - bx) + abs(ay - by) for bx, by in xy] for ax, ay in xy
+        ]
 
     def coords(self, node: int) -> tuple[int, int]:
         """Return the ``(x, y)`` position of ``node``."""
@@ -35,9 +42,9 @@ class Mesh2D:
 
     def distance(self, a: int, b: int) -> int:
         """Manhattan (X-Y routing) hop count between nodes ``a`` and ``b``."""
-        ax, ay = self.coords(a)
-        bx, by = self.coords(b)
-        return abs(ax - bx) + abs(ay - by)
+        self._check(a)
+        self._check(b)
+        return self._dist[a][b]
 
     def route(self, a: int, b: int) -> list[int]:
         """A dimension-ordered route from ``a`` to ``b``, inclusive.
@@ -87,12 +94,7 @@ class Mesh2D:
         """Mean hop count over all ordered pairs of distinct nodes."""
         if self.n_nodes == 1:
             return 0.0
-        total = sum(
-            self.distance(a, b)
-            for a in range(self.n_nodes)
-            for b in range(self.n_nodes)
-            if a != b
-        )
+        total = sum(sum(row) for row in self._dist)  # diagonal is zero
         return total / (self.n_nodes * (self.n_nodes - 1))
 
     def _check(self, node: int) -> None:

@@ -100,15 +100,12 @@ class EventBus:
         self._subs: dict[int, tuple[Optional[frozenset[str]], Subscriber]] = {}
         self._next_token = 0
         self.emitted = 0
-
-    @property
-    def active(self) -> bool:
-        """True when at least one subscriber is attached.
-
-        Emission sites guard on this so an unobserved machine pays only
-        the check — no :class:`Event` is ever constructed.
-        """
-        return bool(self._subs)
+        #: True when at least one subscriber is attached.  Emission
+        #: sites guard on this so an unobserved machine pays only a
+        #: plain attribute read — no :class:`Event` is ever constructed.
+        #: Maintained by :meth:`subscribe`/:meth:`unsubscribe`; treat as
+        #: read-only.
+        self.active: bool = False
 
     def subscribe(
         self, fn: Subscriber, kinds: Optional[Iterable[str]] = None
@@ -123,11 +120,13 @@ class EventBus:
             frozenset(kinds) if kinds is not None else None,
             fn,
         )
+        self.active = True
         return token
 
     def unsubscribe(self, token: int) -> None:
         """Detach one subscriber; other subscribers are unaffected."""
         self._subs.pop(token, None)
+        self.active = bool(self._subs)
 
     def emit(self, kind: str, ts: int, node: int = -1, **data: Any) -> None:
         """Dispatch one event to every interested subscriber."""

@@ -16,7 +16,8 @@ any run without knowing which experiment produced it:
       "metrics": { ... optional registry snapshot ... },
       "latency": { ... optional breakdown summary ... },
       "critpath": { ... optional critical-path attribution ... },
-      "hotspots": { ... optional per-block contention ranking ... }
+      "hotspots": { ... optional per-block contention ranking ... },
+      "perf": {"wall_seconds": 0.18, "events_per_second": 1200000.0}
     }
 
 ``results`` content per experiment is documented in
@@ -48,7 +49,7 @@ __all__ = [
 
 SCHEMA = "repro.run/1"
 
-_OPTIONAL_SECTIONS = ("metrics", "latency", "critpath", "hotspots")
+_OPTIONAL_SECTIONS = ("metrics", "latency", "critpath", "hotspots", "perf")
 
 
 def make_run_payload(
@@ -59,8 +60,15 @@ def make_run_payload(
     latency: Mapping[str, Any] | None = None,
     critpath: Mapping[str, Any] | None = None,
     hotspots: Mapping[str, Any] | None = None,
+    perf: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble one schema-stable run document."""
+    """Assemble one schema-stable run document.
+
+    ``perf`` is the wall-clock sidecar (``wall_seconds``,
+    ``events_per_second``): deliberately separate from ``results`` so
+    bit-exact baseline diffs (``tools/check_bench_regression.py``) never
+    see host-dependent timings.
+    """
     from .. import __version__
 
     payload: dict[str, Any] = {
@@ -71,7 +79,8 @@ def make_run_payload(
         "results": dict(results),
     }
     for key, value in (("metrics", metrics), ("latency", latency),
-                       ("critpath", critpath), ("hotspots", hotspots)):
+                       ("critpath", critpath), ("hotspots", hotspots),
+                       ("perf", perf)):
         if value is not None:
             payload[key] = dict(value)
     return payload
@@ -160,6 +169,10 @@ def run_payload_to_jsonl(payload: Mapping[str, Any]) -> str:
     critpath = document.get("critpath")
     if critpath is not None:
         lines.append(json.dumps({"record": "critpath", **critpath},
+                                sort_keys=True))
+    perf = document.get("perf")
+    if perf is not None:
+        lines.append(json.dumps({"record": "perf", **perf},
                                 sort_keys=True))
     for block in document.get("hotspots", {}).get("top", []):
         row = {"record": "hotspot"}

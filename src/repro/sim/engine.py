@@ -1,18 +1,33 @@
 """The discrete-event simulation engine.
 
 A :class:`Simulator` owns a monotonically increasing cycle counter and a
-priority queue of pending events.  Components schedule callbacks with
+queue of pending events.  Components schedule callbacks with
 :meth:`Simulator.schedule`; :meth:`Simulator.run` drains the queue in
 timestamp order.  Ties are broken by insertion order, which makes every
 simulation fully deterministic.
 
-The engine knows nothing about multiprocessors; the machine model in
-:mod:`repro.machine` is built entirely out of scheduled callbacks.
+The queue is a two-level structure tuned for the delays this machine
+actually schedules (see ``docs/performance.md``):
+
+* a **calendar front end** — a ring of ``_WINDOW`` per-cycle buckets
+  covering ``[now, now + _WINDOW)``.  The small integer delays that
+  dominate (cache hits, controller occupancy, memory service, mesh
+  hops) land here with one ``list.append`` and drain with no
+  comparisons at all;
+* a **heap back end** (``heapq``) for the rare far-future events, e.g.
+  deliveries delayed behind a long network-port backlog.
+
+Both levels carry ``(time, seq, fn, args)`` entries, so events at the
+same cycle replay in exact insertion order even when they straddle the
+two levels.  The engine knows nothing about multiprocessors; the machine
+model in :mod:`repro.machine` is built entirely out of scheduled
+callbacks.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
@@ -24,9 +39,23 @@ __all__ = ["Simulator"]
 class Simulator:
     """A deterministic discrete-event simulator with an integer clock."""
 
+    #: Width (in cycles) of the calendar-queue window.  Power of two so
+    #: the bucket index is a mask instead of a modulo.
+    _WINDOW = 256
+    _MASK = _WINDOW - 1
+
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._now: int = 0
+        # Far-future events (delay >= _WINDOW): a classic binary heap.
         self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
+        # Near-future events: one bucket per cycle in [now, now+_WINDOW).
+        # Invariant: all entries in one bucket share a single timestamp
+        # (two distinct times in the window cannot collide mod _WINDOW).
+        self._buckets: list[list[tuple[int, int, Callable[..., None], tuple]]]
+        self._buckets = [[] for _ in range(self._WINDOW)]
+        self._near: int = 0
+        # No bucket entry has a timestamp earlier than _cursor.
+        self._cursor: int = 0
         self._seq: int = 0
         self._running: bool = False
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -54,22 +83,37 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self.at(self._now + delay, fn, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        time = self._now + delay
+        if delay < 256:
+            self._buckets[time & 255].append((time, seq, fn, args))
+            self._near += 1
+        else:
+            heapq.heappush(self._queue, (time, seq, fn, args))
 
     def at(self, time: int, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
-                f"cannot schedule at {time}, current time is {self._now}"
+                f"cannot schedule at {time}, current time is {now}"
             )
-        heapq.heappush(self._queue, (time, self._seq, fn, args))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if time - now < 256:
+            self._buckets[time & 255].append((time, seq, fn, args))
+            self._near += 1
+        else:
+            heapq.heappush(self._queue, (time, seq, fn, args))
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
 
         Args:
-            until: Stop (without executing) events after this cycle.
+            until: Stop (without executing) events after this cycle; the
+                clock always advances to ``until``, even if the queue
+                drains earlier.
             max_events: Safety valve; raise :class:`SimulationError` if more
                 than this many events execute (deadlock/livelock detector
                 for tests).
@@ -79,28 +123,140 @@ class Simulator:
         """
         self._running = True
         executed = 0
+        # Hot-loop locals: every per-event attribute lookup hoisted once.
+        heap = self._queue
+        buckets = self._buckets
+        heappop = heapq.heappop
+        stop = sys.maxsize if until is None else until
+        limit = sys.maxsize if max_events is None else max_events
+        now = self._now
+        cursor = self._cursor
+        if cursor < now:
+            cursor = now
         try:
-            while self._queue:
-                time, _seq, fn, args = self._queue[0]
-                if until is not None and time > until:
-                    self._now = until
+            while True:
+                if self._near:
+                    bucket = buckets[cursor & 255]
+                    while not bucket:
+                        cursor += 1
+                        bucket = buckets[cursor & 255]
+                    # All entries in this bucket share one timestamp
+                    # (taken from the entry, not the cursor, so the
+                    # invariant is load-bearing in exactly one place).
+                    time = bucket[0][0]
+                    if heap and heap[0][0] <= time:
+                        h_time = heap[0][0]
+                        if h_time < time or heap[0][1] < bucket[0][1]:
+                            # A far-scheduled event comes first.
+                            if h_time > stop:
+                                if stop > now:
+                                    now = stop
+                                break
+                            entry = heappop(heap)
+                            self._now = now = entry[0]
+                            # The scan above may have pushed the cursor
+                            # past `now`; this callback can schedule near
+                            # events anywhere in [now, now + _WINDOW), so
+                            # the scan must restart from `now` or those
+                            # buckets are never visited again.
+                            cursor = now
+                            entry[2](*entry[3])
+                            executed += 1
+                            if executed > limit:
+                                raise SimulationError(
+                                    f"exceeded max_events={max_events}; "
+                                    f"likely livelock"
+                                )
+                            continue
+                    if time > stop:
+                        if stop > now:
+                            now = stop
+                        break
+                    self._now = now = time
+                    if cursor < now:
+                        cursor = now
+                    # Drain the bucket by index: callbacks may append
+                    # same-cycle events to this very list mid-drain, and
+                    # a heap entry may tie this timestamp (seq decides;
+                    # no new heap entry can gain this timestamp, since a
+                    # same-cycle schedule always lands in the bucket).
+                    i = 0
+                    try:
+                        if heap and heap[0][0] == time:
+                            while i < len(bucket):
+                                entry = bucket[i]
+                                if (heap and heap[0][0] == time
+                                        and heap[0][1] < entry[1]):
+                                    far = heappop(heap)
+                                    far[2](*far[3])
+                                else:
+                                    i += 1
+                                    entry[2](*entry[3])
+                                executed += 1
+                                if executed > limit:
+                                    raise SimulationError(
+                                        f"exceeded max_events={max_events}; "
+                                        f"likely livelock"
+                                    )
+                            while heap and heap[0][0] == time:
+                                far = heappop(heap)
+                                far[2](*far[3])
+                                executed += 1
+                                if executed > limit:
+                                    raise SimulationError(
+                                        f"exceeded max_events={max_events}; "
+                                        f"likely livelock"
+                                    )
+                        else:
+                            while i < len(bucket):
+                                entry = bucket[i]
+                                i += 1
+                                entry[2](*entry[3])
+                                executed += 1
+                                if executed > limit:
+                                    raise SimulationError(
+                                        f"exceeded max_events={max_events}; "
+                                        f"likely livelock"
+                                    )
+                    finally:
+                        self._near -= i
+                        del bucket[:i]
+                elif heap:
+                    time = heap[0][0]
+                    if time > stop:
+                        if stop > now:
+                            now = stop
+                        break
+                    entry = heappop(heap)
+                    self._now = now = time
+                    cursor = now  # all buckets empty; restart scan here
+                    entry[2](*entry[3])
+                    executed += 1
+                    if executed > limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely livelock"
+                        )
+                else:
+                    if until is not None and now < until:
+                        now = until
                     break
-                heapq.heappop(self._queue)
-                self._now = time
-                fn(*args)
-                executed += 1
-                self._events_processed.inc()
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; likely livelock"
-                    )
         finally:
             self._running = False
-        return self._now
+            self._now = now
+            # Events scheduled between runs may land behind any scan
+            # progress past `now`, so the cursor resumes from `now`
+            # (rescanning a few empty buckets is cheap; missing a
+            # bucket is not).
+            self._cursor = now
+            # Deferred flush: exact at run end (and on any exception)
+            # without a per-event counter call.
+            if executed:
+                self._events_processed.inc(executed)
+        return now
 
     def pending(self) -> int:
         """Number of events currently queued."""
-        return len(self._queue)
+        return self._near + len(self._queue)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self._now}, pending={len(self._queue)})"
+        return f"Simulator(now={self._now}, pending={self.pending()})"

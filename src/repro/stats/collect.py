@@ -39,10 +39,12 @@ class MachineStats:
 
     def __post_init__(self) -> None:
         self._registry: Optional[MetricsRegistry] = None
+        self._txn_counters: dict[str, tuple] = {}
 
     def attach_registry(self, registry: MetricsRegistry) -> None:
         """Mirror transaction accounting into ``registry`` (``txn.*``)."""
         self._registry = registry
+        self._txn_counters.clear()
 
     def note_access(self, addr: int, pid: int, is_write: bool) -> None:
         """Record a program-level access for write-run tracking."""
@@ -53,8 +55,14 @@ class MachineStats:
         self.transactions[kind] += 1
         self.chain_total[kind] += chain
         if self._registry is not None:
-            self._registry.counter(f"txn.{kind}.count").inc()
-            self._registry.counter(f"txn.{kind}.chain").inc(chain)
+            pair = self._txn_counters.get(kind)
+            if pair is None:
+                pair = self._txn_counters[kind] = (
+                    self._registry.counter(f"txn.{kind}.count"),
+                    self._registry.counter(f"txn.{kind}.chain"),
+                )
+            pair[0].value += 1
+            pair[1].value += chain
 
     def note_txn_latency(
         self, kind: str, policy: str, breakdown: TxnBreakdown

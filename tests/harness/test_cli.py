@@ -210,3 +210,22 @@ def test_report_rejects_invalid_json(tmp_path):
     bad.write_text('{"schema": "nope"}')
     with pytest.raises(ValueError):
         run_cli(["report", str(bad)])
+
+
+def test_perf_quick_prints_and_writes_envelope(tmp_path):
+    from repro.obs.schema import validate_run_payload
+
+    out = tmp_path / "BENCH_PERF.json"
+    code, text = run_cli(["perf", "--quick", "--reps", "1",
+                          "--kernel", "event_churn", "--json", str(out)])
+    assert code == 0
+    assert "event_churn" in text and "events/s" in text
+    payload = validate_run_payload(out.read_text(), experiment="perf")
+    assert payload["results"]["event_churn"]["proxies"]["events"] == 60_016
+
+
+def test_stats_surfaces_wall_clock_perf():
+    code, text = run_cli(["--nodes", "4", "--turns", "2",
+                          "stats", "table1"])
+    assert code == 0
+    assert "events/s" in text

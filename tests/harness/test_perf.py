@@ -1,0 +1,63 @@
+"""The wall-clock perf harness: kernels, determinism checks, envelope."""
+
+import pytest
+
+from repro.harness.perf import (
+    PERF_KERNELS,
+    perf_payload,
+    render_perf,
+    run_perf,
+)
+from repro.obs.schema import validate_run_payload
+
+
+def test_every_kernel_reports_wall_and_proxies():
+    results = run_perf(quick=True, reps=1)
+    assert results["mode"] == "quick"
+    assert set(results["kernels"]) == set(PERF_KERNELS)
+    for report in results["kernels"].values():
+        assert report["wall_seconds"] > 0
+        assert report["reps"] == 1
+        assert report["peak_alloc_kib"] > 0
+        assert isinstance(report["proxies"], dict) and report["proxies"]
+
+
+def test_kernel_subset_and_events_per_second():
+    results = run_perf(quick=True, reps=1, kernels=["event_churn"])
+    assert list(results["kernels"]) == ["event_churn"]
+    churn = results["kernels"]["event_churn"]
+    assert churn["events_per_second"] > 0
+    assert churn["proxies"]["events"] == 60_016
+
+
+def test_proxies_are_deterministic_across_invocations():
+    first = run_perf(quick=True, reps=1, kernels=["faa_storm"])
+    second = run_perf(quick=True, reps=1, kernels=["faa_storm"])
+    assert (first["kernels"]["faa_storm"]["proxies"]
+            == second["kernels"]["faa_storm"]["proxies"])
+
+
+def test_nondeterministic_kernel_is_rejected(monkeypatch):
+    ticket = iter(range(100))
+
+    def flaky(quick):
+        return {"events": 1, "end_cycle": next(ticket)}
+
+    monkeypatch.setitem(PERF_KERNELS, "event_churn", flaky)
+    with pytest.raises(RuntimeError, match="nondeterministic"):
+        run_perf(quick=True, reps=1, kernels=["event_churn"])
+
+
+def test_payload_is_a_valid_envelope():
+    results = run_perf(quick=True, reps=1, kernels=["mesh_saturation"])
+    payload = validate_run_payload(perf_payload(results), experiment="perf")
+    assert payload["params"]["mode"] == "quick"
+    assert "proxies" in payload["results"]["mesh_saturation"]
+
+
+def test_render_lists_every_kernel():
+    results = run_perf(quick=True, reps=1)
+    text = render_perf(results)
+    for name in PERF_KERNELS:
+        assert name in text
+    assert "quick mode" in text

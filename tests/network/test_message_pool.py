@@ -1,0 +1,83 @@
+"""The Message free-list pool: reuse, identity, and hygiene."""
+
+import pytest
+
+from repro.network.message import Message, MessageType, Unit
+
+
+@pytest.fixture(autouse=True)
+def clean_pool():
+    Message.pool_clear()
+    yield
+    Message.pool_clear()
+
+
+def _msg(**kwargs):
+    defaults = dict(mtype=MessageType.GETS, src=0, dst=1, unit=Unit.HOME,
+                    block=7)
+    defaults.update(kwargs)
+    return Message.acquire(**defaults)
+
+
+def test_release_then_acquire_reuses_the_shell():
+    first = _msg()
+    Message.release(first)
+    assert Message.pool_size() == 1
+    second = _msg(mtype=MessageType.GETX, block=9)
+    assert second is first
+    assert Message.pool_size() == 0
+    assert second.mtype is MessageType.GETX
+    assert second.block == 9
+
+
+def test_acquired_shell_always_gets_a_fresh_msg_id():
+    first = _msg()
+    old_id = first.msg_id
+    Message.release(first)
+    second = _msg()
+    assert second.msg_id > old_id
+
+
+def test_release_is_idempotent():
+    msg = _msg()
+    Message.release(msg)
+    Message.release(msg)
+    assert Message.pool_size() == 1
+
+
+def test_release_clears_reference_holding_fields():
+    txn = object()
+    msg = _msg(txn=txn, payload={"data": [1, 2, 3]})
+    Message.release(msg)
+    assert msg.txn is None
+    assert msg.payload == {}
+
+
+def test_pool_is_bounded():
+    original = Message._pool_max
+    Message._pool_max = 2
+    try:
+        msgs = [_msg() for _ in range(5)]
+        for msg in msgs:
+            Message.release(msg)
+        assert Message.pool_size() == 2
+    finally:
+        Message._pool_max = original
+
+
+def test_acquired_message_matches_direct_construction():
+    recycled_source = _msg(payload={"stale": True})
+    Message.release(recycled_source)
+    acquired = _msg(requester=3)
+    direct = Message(MessageType.GETS, 0, 1, Unit.HOME, 7, requester=3)
+    for field in ("mtype", "src", "dst", "unit", "block", "txn", "chain",
+                  "requester", "payload"):
+        assert getattr(acquired, field) == getattr(direct, field)
+
+
+def test_successor_keeps_chain_and_txn():
+    msg = _msg(chain=2)
+    nxt = msg.successor(MessageType.DATA_X, 1, 0, Unit.CACHE, acks=1)
+    assert nxt.chain == 3
+    assert nxt.payload == {"acks": 1}
+    assert nxt.requester == msg.requester

@@ -78,3 +78,32 @@ def test_jsonl_minimal_payload():
 def test_jsonl_validates_first():
     with pytest.raises(ValueError):
         run_payload_to_jsonl({"schema": "bogus", "results": {}})
+
+
+def test_perf_section_kept_and_flattened():
+    payload = make_run_payload(
+        "demo", params={}, results={},
+        perf={"wall_seconds": 0.125, "events_per_second": 800000.0},
+    )
+    assert payload["perf"]["wall_seconds"] == 0.125
+    validate_run_payload(payload)
+    records = [json.loads(line)
+               for line in run_payload_to_jsonl(payload).splitlines()]
+    perf_records = [r for r in records if r["record"] == "perf"]
+    assert perf_records == [{"record": "perf", "wall_seconds": 0.125,
+                             "events_per_second": 800000.0}]
+
+
+def test_perf_section_absent_when_not_given():
+    payload = make_run_payload("demo", params={}, results={})
+    assert "perf" not in payload
+    records = [json.loads(line)
+               for line in run_payload_to_jsonl(payload).splitlines()]
+    assert not [r for r in records if r["record"] == "perf"]
+
+
+def test_perf_section_must_be_an_object():
+    payload = make_run_payload("demo", params={}, results={})
+    payload["perf"] = 0.5
+    with pytest.raises(ValueError, match="perf"):
+        validate_run_payload(payload)

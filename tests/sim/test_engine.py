@@ -111,3 +111,41 @@ def test_events_scheduled_during_run_execute():
     sim.run()
     assert log == [2]
     assert sim.now == 7
+
+
+def test_until_advances_clock_when_queue_drains_early():
+    # Regression: the clock must advance to `until` even when the last
+    # event fires well before it (the seed returned the last event time).
+    sim = Simulator()
+    sim.schedule(3, lambda: None)
+    assert sim.run(until=100) == 100
+    assert sim.now == 100
+
+
+def test_until_advances_clock_on_empty_queue():
+    sim = Simulator()
+    assert sim.run(until=42) == 42
+    assert sim.now == 42
+
+
+def test_far_event_scheduling_near_work_behind_the_scan():
+    # Regression for the calendar front end: the bucket scan advances a
+    # cursor toward the first non-empty bucket; when a far (heap) event
+    # fires earlier than that bucket, events it schedules may land in
+    # buckets *behind* the scan position and must still execute.
+    sim = Simulator()
+    order = []
+
+    def far():
+        order.append("far")
+        sim.schedule(2, lambda: order.append("near-behind"))
+
+    def stage():
+        # From t=50 this lands at t=305: ahead of the far event at 300.
+        sim.schedule(255, lambda: order.append("near-ahead"))
+
+    sim.schedule(300, far)
+    sim.schedule(50, stage)
+    sim.run(max_events=100)
+    assert order == ["far", "near-behind", "near-ahead"]
+    assert sim.now == 305

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Gate the perf microbenchmarks on their deterministic proxies.
+
+``repro perf`` emits a ``repro.run/1`` envelope whose ``results`` hold,
+per kernel, best-of-reps wall-clock numbers *and* a ``proxies`` dict of
+deterministic outputs (event counts, message counts, end cycles, final
+values).  Wall clock depends on the host and is useless as a CI gate;
+the proxies must never move unless the simulation itself changed.  This
+script therefore:
+
+* compares every kernel's ``proxies`` leaf-by-leaf against the committed
+  baseline with **zero tolerance** — any drift fails;
+* fails on kernels missing from either side (a silently dropped kernel
+  must not pass; a new kernel needs its baseline refreshed);
+* prints the wall-seconds / events-per-second deltas as an
+  **informational** report only.
+
+Stdlib only on purpose — the gate must run without installing the
+package::
+
+    python tools/check_perf_regression.py \\
+        --baseline benchmarks/baselines/PERF_quick.json \\
+        --current bench-out/BENCH_PERF.json
+
+Exit status: 0 if every proxy matches, 1 otherwise.  Refresh the
+baseline by re-running ``repro perf --quick --json`` after an intended
+behaviour change (and explain the drift in the commit message).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Iterator, List
+
+SCHEMA = "repro.run/1"
+
+
+def load_envelope(path: pathlib.Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: {path}: unreadable ({exc})")
+    if payload.get("schema") != SCHEMA:
+        sys.exit(
+            f"error: {path}: schema {payload.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    for key in ("experiment", "params", "results"):
+        if key not in payload:
+            sys.exit(f"error: {path}: not a {SCHEMA} envelope (no {key!r})")
+    return payload
+
+
+def walk_diffs(baseline: Any, current: Any, path: str) -> Iterator[str]:
+    """Yield a message per divergent leaf (exact comparison)."""
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in sorted(baseline):
+            if key not in current:
+                yield f"{path}.{key}: missing from current run"
+            else:
+                yield from walk_diffs(baseline[key], current[key],
+                                      f"{path}.{key}")
+        for key in sorted(set(current) - set(baseline)):
+            yield f"{path}.{key}: not in baseline (new proxy? refresh it)"
+        return
+    if baseline != current:
+        yield f"{path}: {current!r} != baseline {baseline!r}"
+
+
+def wall_report(base_kernels: dict, cur_kernels: dict) -> List[str]:
+    """Informational wall-clock comparison (never fails the gate)."""
+    lines = ["wall-clock (informational; host-dependent, not gated):"]
+    for name in sorted(base_kernels):
+        if name not in cur_kernels:
+            continue
+        b, c = base_kernels[name], cur_kernels[name]
+        b_wall, c_wall = b.get("wall_seconds"), c.get("wall_seconds")
+        if not b_wall or not c_wall:
+            continue
+        delta = (c_wall - b_wall) / b_wall * 100.0
+        eps = c.get("events_per_second")
+        eps_text = f", {eps:,} ev/s" if eps else ""
+        lines.append(
+            f"  {name}: {c_wall:.4f}s vs baseline {b_wall:.4f}s "
+            f"({delta:+.1f}%{eps_text})"
+        )
+    return lines
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate perf-microbenchmark proxies against a baseline.",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        required=True,
+        help="committed PERF_*.json baseline envelope",
+    )
+    parser.add_argument(
+        "--current",
+        type=pathlib.Path,
+        required=True,
+        help="freshly generated BENCH_PERF.json envelope",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_envelope(args.baseline)
+    current = load_envelope(args.current)
+
+    problems: List[str] = []
+    base_mode = baseline.get("params", {}).get("mode")
+    cur_mode = current.get("params", {}).get("mode")
+    if base_mode != cur_mode:
+        problems.append(
+            f"params.mode: {cur_mode!r} != baseline {base_mode!r} "
+            "(quick/full workloads have different proxies)"
+        )
+
+    base_kernels = baseline["results"]
+    cur_kernels = current["results"]
+    for name in sorted(base_kernels):
+        if name not in cur_kernels:
+            problems.append(f"{name}: kernel missing from current run")
+            continue
+        problems.extend(walk_diffs(
+            base_kernels[name].get("proxies", {}),
+            cur_kernels[name].get("proxies", {}),
+            f"{name}.proxies",
+        ))
+    for name in sorted(set(cur_kernels) - set(base_kernels)):
+        problems.append(f"{name}: kernel not in baseline (refresh it)")
+
+    print("\n".join(wall_report(base_kernels, cur_kernels)))
+    if problems:
+        print()
+        print(f"FAIL: {len(problems)} deterministic-proxy divergence(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"OK: proxies of {len(base_kernels)} kernel(s) match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
