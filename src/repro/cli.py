@@ -53,6 +53,26 @@ coherence storm, mesh saturation, mini Table 1; see
 :mod:`repro.harness.perf` and ``docs/performance.md``) and can write the
 ``BENCH_PERF.json`` envelope that CI's perf-regression gate consumes.
 
+Host-level self-observability (see :mod:`repro.obs.profile`,
+:mod:`repro.obs.telemetry`, and ``docs/observability.md``):
+
+* ``repro profile <experiment> [--quick]`` — wall-clock attribution of
+  the dispatch loop over a representative run, as a text table, a full
+  JSON envelope (``--format json``), or flamegraph-compatible collapsed
+  stacks (``--format collapsed`` / ``--collapsed OUT``);
+* ``--profile`` on any experiment command profiles that run and prints
+  the attribution table to stderr (and injects a ``profile`` section
+  into ``--json`` output);
+* ``--telemetry OUT`` streams ``run.progress`` heartbeat records
+  (throughput, queue depth, RSS, GC) as JSONL to ``OUT`` (``-`` =
+  stderr) every ``--telemetry-every`` executed events;
+* ``--progress-format jsonl`` switches sweep progress from text lines
+  to machine-readable JSONL on the same serializer.
+
+``--profile``/``--telemetry`` are in-process measurements, so they
+force ``--jobs 1`` and disable the result cache for that invocation
+(a cache hit or pool worker would silently escape instrumentation).
+
 Finally, ``repro report RUN.json [-o report.html]`` renders any
 ``repro.run/1`` document — from ``--json`` or a benchmark — into a
 single self-contained HTML file (inline SVG, no network access; see
@@ -62,6 +82,7 @@ single self-contained HTML file (inline SVG, no network access; see
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import pathlib
 import sys
@@ -83,17 +104,26 @@ from .harness.figures import (
 )
 from .harness.htmlreport import load_payload, write_report
 from .harness.instrumented import INSTRUMENTED_EXPERIMENTS, run_instrumented
-from .harness.parallel import ResultCache, attach_progress_printer
+from .harness.parallel import ResultCache, attach_progress_writer
 from .harness.report import render_histogram, render_table
 from .harness.table1 import TABLE1_EXPECTED, run_table1
 from .obs.events import EventBus
 from .obs.exporters import export_events, to_jsonl
-from .obs.schema import dump_run, make_run_payload, run_payload_to_jsonl
+from .obs.profile import profiled
+from .obs.schema import (
+    dump_run,
+    make_run_payload,
+    run_payload_to_jsonl,
+    validate_run_payload,
+)
+from .obs.telemetry import DEFAULT_EVERY, telemetry_session
 
 __all__ = ["main", "build_parser"]
 
 TRACE_FORMATS = ("text", "jsonl", "chrome")
 STATS_FORMATS = ("text", "jsonl")
+PROFILE_FORMATS = ("text", "json", "collapsed")
+PROGRESS_FORMATS = ("text", "jsonl")
 
 
 def _add_common(parser: argparse.ArgumentParser, top_level: bool) -> None:
@@ -129,6 +159,25 @@ def _add_common(parser: argparse.ArgumentParser, top_level: bool) -> None:
                         default=default(False),
                         help="print per-point sweep progress to stderr "
                              "(implied by --jobs > 1)")
+    parser.add_argument("--progress-format", choices=PROGRESS_FORMATS,
+                        default=default("text"),
+                        help="sweep progress as human text lines or "
+                             "machine-readable JSONL (default text)")
+    parser.add_argument("--profile", action="store_true",
+                        default=default(False),
+                        help="attribute host time per (component, "
+                             "handler); table to stderr, 'profile' "
+                             "section in --json (forces --jobs 1, "
+                             "--no-cache)")
+    parser.add_argument("--telemetry", type=pathlib.Path,
+                        default=default(None), metavar="OUT",
+                        help="stream run.progress heartbeat JSONL to "
+                             "OUT ('-' = stderr; forces --jobs 1, "
+                             "--no-cache)")
+    parser.add_argument("--telemetry-every", type=int,
+                        default=default(DEFAULT_EVERY), metavar="N",
+                        help="heartbeat cadence in executed events "
+                             f"(default {DEFAULT_EVERY})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,6 +260,25 @@ def build_parser() -> argparse.ArgumentParser:
                       dest="kernels", metavar="NAME",
                       help="run only this kernel (repeatable; default all)")
     _add_common(perf, top_level=False)
+    profile = sub.add_parser(
+        "profile",
+        help="host-time attribution of a representative run",
+    )
+    profile.add_argument("experiment", nargs="?", default="table1",
+                         choices=sorted(INSTRUMENTED_EXPERIMENTS),
+                         help="experiment to profile (default table1)")
+    profile.add_argument("--quick", action="store_true",
+                         help="smallest representative workload "
+                              "(4 nodes; CI smoke)")
+    profile.add_argument("--format", choices=PROFILE_FORMATS,
+                         default="text", dest="fmt",
+                         help="text table, full repro.run/1 JSON, or "
+                              "flamegraph collapsed stacks "
+                              "(default text)")
+    profile.add_argument("--collapsed", type=pathlib.Path, default=None,
+                         metavar="OUT",
+                         help="also write collapsed stacks to OUT")
+    _add_common(profile, top_level=False)
     report = sub.add_parser(
         "report",
         help="render a repro.run/1 JSON document as self-contained HTML",
@@ -242,7 +310,7 @@ def _sweep_opts(args: argparse.Namespace) -> dict[str, Any]:
     """
     events = EventBus()
     if args.progress or args.jobs > 1:
-        attach_progress_printer(events)
+        attach_progress_writer(events, args.progress_format)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     return {"jobs": args.jobs, "cache": cache, "events": events}
 
@@ -452,6 +520,39 @@ def _cmd_perf(args, out) -> int:
     return 0
 
 
+def _cmd_profile(args, out) -> int:
+    config = SimConfig().with_nodes(4 if args.quick else args.nodes)
+    with profiled() as prof:
+        run = run_instrumented(args.experiment, config, turns=args.turns)
+    snapshot = prof.snapshot()
+    payload = run.payload(
+        params={"turns": args.turns, "quick": args.quick},
+        profile=snapshot,
+    )
+    if args.fmt == "json":
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    elif args.fmt == "collapsed":
+        text = prof.collapsed()
+    else:
+        text = "\n".join([
+            f"profile — {args.experiment}: {run.description}",
+            "",
+            prof.render(),
+        ])
+    out(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        ext = {"text": "txt", "json": "json", "collapsed": "collapsed"}
+        (args.out / f"profile-{args.experiment}.{ext[args.fmt]}"
+         ).write_text(text + "\n")
+    if args.collapsed is not None:
+        args.collapsed.parent.mkdir(parents=True, exist_ok=True)
+        args.collapsed.write_text(prof.collapsed() + "\n")
+    if args.json is not None:
+        dump_run(payload, args.json)
+    return 0
+
+
 def _cmd_report(args, out) -> int:
     payload = load_payload(args.run)
     target = (args.output if args.output is not None
@@ -498,6 +599,7 @@ _COMMANDS: dict[str, Callable] = {
     "ablation-reservations": _cmd_ablation_reservations,
     "ablation-dropcopy": _cmd_ablation_dropcopy,
     "perf": _cmd_perf,
+    "profile": _cmd_profile,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "critpath": _cmd_critpath,
@@ -506,11 +608,59 @@ _COMMANDS: dict[str, Callable] = {
 }
 
 
+def _inject_profile(path: pathlib.Path, snapshot: dict[str, Any]) -> None:
+    """Add the session's ``profile`` section to an emitted envelope.
+
+    Commands build their ``--json`` payloads before the profiling
+    session closes, so the attribution is grafted on afterwards (and
+    re-validated against the schema).
+    """
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return
+    document["profile"] = snapshot
+    validate_run_payload(document)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
 def main(argv: Optional[Sequence[str]] = None,
          out: Callable[[str], None] = print) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    command = _COMMANDS[args.command]
+    want_profile = bool(getattr(args, "profile", False))
+    telemetry_out = getattr(args, "telemetry", None)
+    if not want_profile and telemetry_out is None:
+        return command(args, out)
+    # Profiling and telemetry are in-process sessions: a pool worker or
+    # a cache hit would run (or skip) the simulation outside them, so
+    # observed invocations are serial and uncached.
+    if hasattr(args, "jobs"):
+        args.jobs = 1
+        args.no_cache = True
+    with contextlib.ExitStack() as stack:
+        prof = None
+        if want_profile:
+            prof = stack.enter_context(profiled())
+        if telemetry_out is not None:
+            if str(telemetry_out) == "-":
+                stack.enter_context(
+                    telemetry_session(every=args.telemetry_every)
+                )
+            else:
+                sink = stack.enter_context(open(telemetry_out, "w"))
+                stack.enter_context(
+                    telemetry_session(every=args.telemetry_every,
+                                      stream=sink)
+                )
+        code = command(args, out)
+    if prof is not None:
+        print(prof.render(top_n=12), file=sys.stderr)
+        json_path = getattr(args, "json", None)
+        if json_path is not None:
+            _inject_profile(json_path, prof.snapshot())
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -23,6 +23,10 @@ disappearing):
    transaction's own timeline and colored by span kind.
 4. **Hotspots** — the per-cache-line contention ranking, with a
    directory-queue-depth sparkline per block.
+5. **Host-time profile** — where wall-clock time went while producing
+   the run: per-(component, handler) self-time bars plus the engine's
+   dispatch residual, from the ``profile`` envelope section
+   (``repro profile --json`` or any ``--profile`` run).
 
 Every chart carries a ``<details>`` data table, so the numbers are
 readable without the SVG (and by screen readers); colors come from a
@@ -580,6 +584,39 @@ def _panel_hotspots(payload: Mapping[str, Any]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Panel 5 — host-time profile
+# ----------------------------------------------------------------------
+
+def _panel_profile(payload: Mapping[str, Any]) -> str:
+    profile = payload.get("profile")
+    if not isinstance(profile, dict):
+        return ('<p class="empty">This envelope carries no host-time '
+                "profile (run <code>repro profile --json</code>, or any "
+                "experiment with <code>--profile --json</code>, to "
+                "attribute wall-clock time per component here).</p>")
+    total = profile.get("total_ns", 0)
+    kinds = profile.get("kinds", {})
+    bars = [(key, entry.get("ns", 0) / 1e6)
+            for key, entry in kinds.items()]
+    bars.append(("engine.dispatch", profile.get("dispatch_ns", 0) / 1e6))
+    note = (f'<p class="meta">{total / 1e6:.2f} ms of wall time over '
+            f'{profile.get("events", 0):,} event(s) in '
+            f'{profile.get("runs", 0)} run(s); bars are per-handler '
+            "self-time in ms, <code>engine.dispatch</code> is the "
+            "dispatch-loop residual (scans, pops, bookkeeping)</p>")
+    rows = [[key, entry.get("calls", 0), round(entry.get("ns", 0) / 1e6, 3),
+             f"{100.0 * entry.get('share', 0.0):.1f}%"]
+            for key, entry in kinds.items()]
+    rows.append(["engine.dispatch", profile.get("events", 0),
+                 round(profile.get("dispatch_ns", 0) / 1e6, 3),
+                 (f"{100.0 * profile.get('dispatch_ns', 0) / total:.1f}%"
+                  if total else "0.0%")])
+    return (note + _bar_chart(bars, slot=2, unit=" ms")
+            + _data_table(["component.handler", "calls", "ms", "share"],
+                          rows))
+
+
+# ----------------------------------------------------------------------
 # Assembly
 # ----------------------------------------------------------------------
 
@@ -603,6 +640,7 @@ def render_report(payload: Mapping[str, Any],
         ("Critical path &amp; latency waterfalls",
          _panel_waterfalls(document)),
         ("Cache-line hotspots", _panel_hotspots(document)),
+        ("Host-time profile", _panel_profile(document)),
     ]
     sections = "".join(
         f'<section class="panel" id="panel-{i + 1}">'

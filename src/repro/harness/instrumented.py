@@ -86,12 +86,15 @@ class InstrumentedRun:
                                               worst=worst)
 
     def payload(self, params: Optional[dict[str, Any]] = None,
-                top_hotspots: int = 10) -> dict[str, Any]:
+                top_hotspots: int = 10,
+                profile: Optional[dict[str, Any]] = None) -> dict[str, Any]:
         """The run as a full ``repro.run/1`` envelope.
 
         Includes every optional section: registry ``metrics``, the
-        ``latency`` breakdown, ``critpath`` attribution, and the
-        ``hotspots`` ranking — the input ``repro report`` renders.
+        ``latency`` breakdown, ``critpath`` attribution, the
+        ``hotspots`` ranking, and — when the run executed under
+        :func:`repro.obs.profile.profiled` — the host-time ``profile``
+        snapshot; the input ``repro report`` renders.
         """
         return make_run_payload(
             f"instrumented-{self.experiment}",
@@ -110,6 +113,7 @@ class InstrumentedRun:
                 "wall_seconds": round(self.wall_seconds, 6),
                 "events_per_second": round(self.events_per_second, 1),
             },
+            profile=profile,
         )
 
 

@@ -57,8 +57,9 @@ import json
 import os
 import pathlib
 import sys
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence, TextIO
 
 from ..apps.common import AppResult
@@ -66,6 +67,7 @@ from ..config import SimConfig
 from ..errors import ConfigError
 from ..obs.events import EventBus
 from ..obs.registry import MetricsRegistry
+from ..obs.telemetry import telemetry_line
 
 __all__ = [
     "SweepPoint",
@@ -81,6 +83,8 @@ __all__ = [
     "code_fingerprint",
     "default_cache_dir",
     "attach_progress_printer",
+    "attach_progress_jsonl",
+    "attach_progress_writer",
 ]
 
 CACHE_SCHEMA = "repro.cache/1"
@@ -408,14 +412,26 @@ def execute_point(point: SweepPoint) -> dict[str, Any]:
     holder: dict[str, Any] = {}
     if _accepts_observe(fn):
         kwargs["observe"] = holder.setdefault("machines", []).append
+    t0 = time.perf_counter()
     result = fn(*args, **kwargs)
+    wall = time.perf_counter() - t0
     merged = MetricsRegistry()
     for machine in holder.get("machines", []):
         registry = getattr(machine, "registry", None)
         if registry is not None:
             merged.merge_snapshot(registry.snapshot())
     metrics = merged.snapshot() if len(merged) else {}
-    return {"result": _encode_result(result), "metrics": metrics}
+    # Per-point host telemetry: forwarded on sweep.point (live per-point
+    # throughput for --progress) but never cached — wall numbers belong
+    # to this host and run, not to the point's content hash.
+    events = metrics.get("sim.events_processed", 0)
+    telemetry = {
+        "wall_seconds": round(wall, 6),
+        "events": events,
+        "events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
+    }
+    return {"result": _encode_result(result), "metrics": metrics,
+            "telemetry": telemetry}
 
 
 # ----------------------------------------------------------------------
@@ -424,13 +440,19 @@ def execute_point(point: SweepPoint) -> dict[str, Any]:
 
 @dataclass
 class PointOutcome:
-    """One resolved sweep point."""
+    """One resolved sweep point.
+
+    ``telemetry`` holds the executing worker's host-side measurements
+    (``wall_seconds``, ``events``, ``events_per_second``); empty for
+    cache hits, which did no simulation on this host.
+    """
 
     point: SweepPoint
     result: Any
     metrics: dict[str, Any]
     cached: bool
     key: str
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
 
 class SweepExecutor:
@@ -534,13 +556,20 @@ class SweepExecutor:
             metrics=payload.get("metrics", {}),
             cached=cached,
             key=key,
+            telemetry=payload.get("telemetry", {}),
         )
 
     def _store(
         self, point: SweepPoint, key: str, payload: dict[str, Any]
     ) -> PointOutcome:
         if self.cache is not None:
-            self.cache.put(key, payload, point)
+            # Cache entries are content-addressed simulation outputs;
+            # host-side wall measurements don't belong in them.
+            self.cache.put(
+                key,
+                {k: v for k, v in payload.items() if k != "telemetry"},
+                point,
+            )
         return self._outcome(point, key, payload, cached=False)
 
     def _emit_point(
@@ -554,6 +583,7 @@ class SweepExecutor:
             label=outcome.point.label,
             cached=outcome.cached,
             key=outcome.key,
+            **outcome.telemetry,
         )
 
     def _merge(self, outcomes: Sequence[PointOutcome]) -> None:
@@ -594,14 +624,19 @@ def attach_progress_printer(
 
     .. code-block:: text
 
-        [sweep 3/63] lockfree FAP/INV contention=4 ... (cached)
+        [sweep 3/63] lockfree FAP/INV contention=4 ... (317,204 ev/s)
+        [sweep 4/63] lockfree FAP/INV contention=8 ... (cached)
         [sweep] done: 60 cached, 3 simulated
     """
     out = stream if stream is not None else sys.stderr
 
     def on_event(event) -> None:
         if event.kind == "sweep.point":
-            suffix = " (cached)" if event.data.get("cached") else ""
+            if event.data.get("cached"):
+                suffix = " (cached)"
+            else:
+                eps = event.data.get("events_per_second")
+                suffix = f" ({eps:,.0f} ev/s)" if eps else ""
             print(
                 f"[sweep {event.ts}/{event.data.get('total', '?')}] "
                 f"{event.data.get('label', '')}{suffix}",
@@ -617,3 +652,43 @@ def attach_progress_printer(
             )
 
     return events.subscribe(on_event, kinds=("sweep.point", "sweep.done"))
+
+
+def attach_progress_jsonl(
+    events: EventBus, stream: Optional[TextIO] = None
+) -> int:
+    """The machine-readable sibling of :func:`attach_progress_printer`.
+
+    Serializes every ``sweep.*`` event as one JSON line (via the
+    telemetry serializer, so consumers parse a single framing), with a
+    ``record`` discriminator equal to the event kind:
+
+    .. code-block:: text
+
+        {"jobs":4,"record":"sweep.start","total":63}
+        {"cached":false,"events_per_second":317204.0,...,"record":"sweep.point"}
+        {"cached":60,"executed":3,"record":"sweep.done","total":63}
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def on_event(event) -> None:
+        record = {"record": event.kind, **event.data}
+        if event.kind == "sweep.point":
+            record["done"] = event.ts
+        print(telemetry_line(record), file=out, flush=True)
+
+    return events.subscribe(
+        on_event, kinds=("sweep.start", "sweep.point", "sweep.done")
+    )
+
+
+def attach_progress_writer(
+    events: EventBus, progress_format: str = "text",
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Attach the progress reporter named by ``--progress-format``."""
+    if progress_format == "jsonl":
+        return attach_progress_jsonl(events, stream)
+    if progress_format == "text":
+        return attach_progress_printer(events, stream)
+    raise ConfigError(f"unknown progress format {progress_format!r}")

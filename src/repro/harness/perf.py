@@ -38,6 +38,7 @@ proxy drift and treats wall-clock numbers as informational.  See
 
 from __future__ import annotations
 
+import gc
 import time
 import tracemalloc
 from typing import Any, Callable, Iterable, Optional
@@ -177,6 +178,11 @@ def run_perf(
         fn = PERF_KERNELS[name]
         # One untimed rep under tracemalloc: allocation tracking slows
         # execution several-fold, so it never shares a rep with timing.
+        # Collect first so the peak doesn't depend on whether a GC pass
+        # happens to reclaim earlier kernels' garbage mid-measurement —
+        # peak_alloc_kib is gated at ±10% by
+        # tools/check_perf_regression.py and must be stable run to run.
+        gc.collect()
         tracemalloc.start()
         proxies = fn(quick)
         _, peak = tracemalloc.get_traced_memory()

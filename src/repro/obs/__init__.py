@@ -12,7 +12,11 @@ Three pillars (see ``docs/observability.md``):
   primitive × policy;
 * :mod:`repro.obs.spans` / :mod:`repro.obs.critpath` /
   :mod:`repro.obs.hotspot` — causal span graphs per transaction,
-  run-level critical-path blame, and per-cache-line contention scores.
+  run-level critical-path blame, and per-cache-line contention scores;
+* :mod:`repro.obs.profile` / :mod:`repro.obs.telemetry` — host-level
+  self-observability: wall-clock attribution of the event-dispatch
+  loop, and deterministic heartbeat streams with host-resource
+  tracking.
 
 :mod:`repro.obs.schema` defines the stable ``repro.run/1`` JSON envelope
 all ``--json`` output uses.
@@ -28,6 +32,15 @@ from .exporters import (
 )
 from .hotspot import BlockStats, HotspotTracker
 from .latency import CATEGORIES, LatencyStats, LatencyTracker, TxnBreakdown
+from .profile import ComponentProfiler, active_profiler, profiled
+from .telemetry import (
+    Heartbeat,
+    TelemetryWriter,
+    host_sample,
+    maybe_attach,
+    telemetry_line,
+    telemetry_session,
+)
 from .schema import (
     SCHEMA,
     dump_run,
@@ -68,4 +81,13 @@ __all__ = [
     "CritPathAggregator",
     "HotspotTracker",
     "BlockStats",
+    "ComponentProfiler",
+    "profiled",
+    "active_profiler",
+    "Heartbeat",
+    "TelemetryWriter",
+    "telemetry_session",
+    "telemetry_line",
+    "host_sample",
+    "maybe_attach",
 ]

@@ -27,11 +27,18 @@ kind                        meaning
 ``sweep.start``             a parallel sweep began (total points, jobs)
 ``sweep.point``             one sweep point resolved (cached or run)
 ``sweep.done``              the sweep finished (hit/miss totals)
+``run.progress``            a telemetry heartbeat: host throughput,
+                            queue depth, RSS, GC counts (see
+                            :mod:`repro.obs.telemetry`)
 ==========================  ===========================================
 
 The ``sweep.*`` kinds are emitted by
 :class:`repro.harness.parallel.SweepExecutor` on its own bus (not a
 machine's); their ``ts`` is the completion ordinal, not a cycle.
+``run.progress`` is emitted by :class:`repro.obs.telemetry.Heartbeat`
+every N *executed events* — deterministic cadence, host-dependent
+measurements — and is the one kind whose data fields (events/s, RSS)
+are not reproducible across hosts.
 
 Observability must not perturb the simulation: emission never schedules
 simulator events or sends messages, and every emission site is guarded
@@ -65,6 +72,7 @@ EVENT_KINDS = (
     "sweep.start",
     "sweep.point",
     "sweep.done",
+    "run.progress",
 )
 
 

@@ -17,13 +17,17 @@ any run without knowing which experiment produced it:
       "latency": { ... optional breakdown summary ... },
       "critpath": { ... optional critical-path attribution ... },
       "hotspots": { ... optional per-block contention ranking ... },
-      "perf": {"wall_seconds": 0.18, "events_per_second": 1200000.0}
+      "perf": {"wall_seconds": 0.18, "events_per_second": 1200000.0},
+      "profile": { ... optional host-time attribution ... }
     }
 
 ``results`` content per experiment is documented in
 ``docs/observability.md``; ``critpath`` is a
-:meth:`~repro.obs.critpath.CritPathAggregator.snapshot` and
-``hotspots`` a :meth:`~repro.obs.hotspot.HotspotTracker.snapshot`.
+:meth:`~repro.obs.critpath.CritPathAggregator.snapshot`,
+``hotspots`` a :meth:`~repro.obs.hotspot.HotspotTracker.snapshot`, and
+``profile`` a :meth:`~repro.obs.profile.ComponentProfiler.snapshot`
+(wall-clock attribution of the dispatch loop; host-dependent, so — like
+``perf`` — it never appears under ``results``).
 The envelope is validated (no external dependency) by
 :func:`validate_run_payload`; bump :data:`SCHEMA` if the envelope ever
 changes shape (adding optional keys is backward-compatible).
@@ -49,7 +53,8 @@ __all__ = [
 
 SCHEMA = "repro.run/1"
 
-_OPTIONAL_SECTIONS = ("metrics", "latency", "critpath", "hotspots", "perf")
+_OPTIONAL_SECTIONS = ("metrics", "latency", "critpath", "hotspots", "perf",
+                      "profile")
 
 
 def make_run_payload(
@@ -61,13 +66,15 @@ def make_run_payload(
     critpath: Mapping[str, Any] | None = None,
     hotspots: Mapping[str, Any] | None = None,
     perf: Mapping[str, Any] | None = None,
+    profile: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble one schema-stable run document.
 
-    ``perf`` is the wall-clock sidecar (``wall_seconds``,
-    ``events_per_second``): deliberately separate from ``results`` so
-    bit-exact baseline diffs (``tools/check_bench_regression.py``) never
-    see host-dependent timings.
+    ``perf`` (wall-clock sidecar: ``wall_seconds``,
+    ``events_per_second``) and ``profile`` (per-handler host-time
+    attribution) are deliberately separate from ``results`` so bit-exact
+    baseline diffs (``tools/check_bench_regression.py``) never see
+    host-dependent timings.
     """
     from .. import __version__
 
@@ -80,7 +87,7 @@ def make_run_payload(
     }
     for key, value in (("metrics", metrics), ("latency", latency),
                        ("critpath", critpath), ("hotspots", hotspots),
-                       ("perf", perf)):
+                       ("perf", perf), ("profile", profile)):
         if value is not None:
             payload[key] = dict(value)
     return payload
@@ -173,6 +180,10 @@ def run_payload_to_jsonl(payload: Mapping[str, Any]) -> str:
     perf = document.get("perf")
     if perf is not None:
         lines.append(json.dumps({"record": "perf", **perf},
+                                sort_keys=True))
+    profile = document.get("profile")
+    if profile is not None:
+        lines.append(json.dumps({"record": "profile", **profile},
                                 sort_keys=True))
     for block in document.get("hotspots", {}).get("top", []):
         row = {"record": "hotspot"}

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import heapq
 import sys
+from time import perf_counter_ns
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..obs.profile import active_profiler
 from ..obs.registry import MetricsRegistry
 
 __all__ = ["Simulator"]
@@ -60,6 +62,13 @@ class Simulator:
         self._running: bool = False
         self.registry = registry if registry is not None else MetricsRegistry()
         self._events_processed = self.registry.counter("sim.events_processed")
+        # Host-observability hooks.  When either is attached, run()
+        # dispatches to _run_observed(); the fast loop stays untouched,
+        # so the disabled path's only cost is one check per run() call.
+        self._profiler = active_profiler()
+        self._hb_every: int = 0
+        self._hb_fire: Optional[Callable[[int, int, int], None]] = None
+        self._hb_countdown: int = 0
 
     @property
     def events_processed(self) -> int:
@@ -107,6 +116,32 @@ class Simulator:
         else:
             heapq.heappush(self._queue, (time, seq, fn, args))
 
+    def set_heartbeat(
+        self, every: int, fire: Callable[[int, int, int], None]
+    ) -> None:
+        """Fire ``fire(now, events_total, queue_depth)`` every ``every``
+        executed events.
+
+        The cadence is counted in *events*, not wall time, so enabling a
+        heartbeat never perturbs event ordering — the callback observes
+        the simulation, it must not schedule into it.  The countdown
+        persists across :meth:`run` calls, so a machine that runs in
+        many short turns still beats at the configured period.
+        """
+        if every <= 0:
+            raise SimulationError(
+                f"heartbeat interval must be positive (got {every})"
+            )
+        self._hb_every = every
+        self._hb_fire = fire
+        self._hb_countdown = every
+
+    def clear_heartbeat(self) -> None:
+        """Detach the heartbeat (idempotent)."""
+        self._hb_every = 0
+        self._hb_fire = None
+        self._hb_countdown = 0
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
 
@@ -121,6 +156,8 @@ class Simulator:
         Returns:
             The simulation time when the run stopped.
         """
+        if self._profiler is not None or self._hb_fire is not None:
+            return self._run_observed(until, max_events)
         self._running = True
         executed = 0
         # Hot-loop locals: every per-event attribute lookup hoisted once.
@@ -252,6 +289,102 @@ class Simulator:
             # without a per-event counter call.
             if executed:
                 self._events_processed.inc(executed)
+        return now
+
+    def _run_observed(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        """The instrumented twin of :meth:`run`'s hot loop.
+
+        Executes events in exactly the same (time, seq) order as the
+        fast loop — each iteration picks the global minimum of the
+        calendar scan head and the heap top — but goes one event at a
+        time through a single dispatch point so each callback can be
+        timed (profiler) and counted (heartbeat).  Slower per event than
+        the fast loop's bucket drains; that cost exists only while a
+        profiler or heartbeat is attached.
+        """
+        self._running = True
+        executed = 0
+        heap = self._queue
+        buckets = self._buckets
+        heappop = heapq.heappop
+        clock = perf_counter_ns
+        profiler = self._profiler
+        record = profiler.record if profiler is not None else None
+        hb_fire = self._hb_fire
+        hb_every = self._hb_every
+        hb_left = self._hb_countdown
+        base_events = self._events_processed.value
+        stop = sys.maxsize if until is None else until
+        limit = sys.maxsize if max_events is None else max_events
+        now = self._now
+        cursor = self._cursor
+        if cursor < now:
+            cursor = now
+        run_t0 = clock()
+        try:
+            while True:
+                entry = None
+                bucket = None
+                if self._near:
+                    bucket = buckets[cursor & 255]
+                    while not bucket:
+                        cursor += 1
+                        bucket = buckets[cursor & 255]
+                    # One-timestamp-per-bucket invariant: bucket[0] is
+                    # the earliest near event (FIFO within the cycle).
+                    entry = bucket[0]
+                if heap:
+                    head = heap[0]
+                    if entry is None or (head[0], head[1]) < (entry[0], entry[1]):
+                        entry = head
+                        bucket = None
+                if entry is None:
+                    if until is not None and now < until:
+                        now = until
+                    break
+                time = entry[0]
+                if time > stop:
+                    if stop > now:
+                        now = stop
+                    break
+                if bucket is not None:
+                    del bucket[0]
+                    self._near -= 1
+                else:
+                    heappop(heap)
+                self._now = now = time
+                # The callback may schedule near events behind any scan
+                # progress past `now`; rescan from `now` next iteration.
+                cursor = now
+                fn = entry[2]
+                if record is not None:
+                    t0 = clock()
+                    fn(*entry[3])
+                    record(fn, clock() - t0)
+                else:
+                    fn(*entry[3])
+                executed += 1
+                if executed > limit:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely livelock"
+                    )
+                if hb_fire is not None:
+                    hb_left -= 1
+                    if hb_left <= 0:
+                        hb_left = hb_every
+                        hb_fire(now, base_events + executed,
+                                self._near + len(heap))
+        finally:
+            self._running = False
+            self._now = now
+            self._cursor = now
+            self._hb_countdown = hb_left
+            if executed:
+                self._events_processed.inc(executed)
+            if profiler is not None:
+                profiler.finish_run(clock() - run_t0, executed)
         return now
 
     def pending(self) -> int:

@@ -229,3 +229,106 @@ def test_stats_surfaces_wall_clock_perf():
                           "stats", "table1"])
     assert code == 0
     assert "events/s" in text
+
+
+# ----------------------------------------------------------------------
+# Self-profiling and telemetry.
+# ----------------------------------------------------------------------
+
+def test_profile_subcommand_text():
+    code, text = run_cli(["profile", "--quick"])
+    assert code == 0
+    assert "profile — table1" in text
+    assert "engine.dispatch" in text
+
+
+def test_profile_subcommand_json_validates(tmp_path):
+    import json
+
+    from repro.obs.schema import validate_run_payload
+
+    out = tmp_path / "prof"
+    code, text = run_cli(["profile", "--quick", "--format", "json",
+                          "--out", str(out)])
+    assert code == 0
+    payload = validate_run_payload(text, experiment="instrumented-table1")
+    prof = payload["profile"]
+    assert prof["attributed_ns"] + prof["dispatch_ns"] == prof["total_ns"]
+    assert prof["kinds"]
+    on_disk = json.loads((out / "profile-table1.json").read_text())
+    assert on_disk == payload
+
+
+def test_profile_subcommand_collapsed(tmp_path):
+    stacks = tmp_path / "out.collapsed"
+    code, text = run_cli(["profile", "--quick", "--format", "collapsed",
+                          "--collapsed", str(stacks)])
+    assert code == 0
+    lines = stacks.read_text().splitlines()
+    assert any(line.startswith("engine;dispatch ") for line in lines)
+    for line in lines:
+        frames, _, ns = line.rpartition(" ")
+        assert ";" in frames and int(ns) >= 0
+
+
+def test_profile_flag_injects_section_into_json(tmp_path, capsys):
+    import json
+
+    from repro.obs.schema import validate_run_payload
+
+    target = tmp_path / "stats.json"
+    code, _ = run_cli(["--nodes", "4", "--turns", "2", "--profile",
+                       "stats", "figure3", "--json", str(target)])
+    assert code == 0
+    payload = validate_run_payload(target.read_text())
+    assert "profile" in payload
+    assert payload["profile"]["kinds"]
+    # The human-readable table lands on stderr, leaving stdout clean.
+    assert "engine.dispatch" in capsys.readouterr().err
+    json.loads(target.read_text())
+
+
+def test_telemetry_flag_streams_jsonl(tmp_path):
+    import json
+
+    sink = tmp_path / "beats.jsonl"
+    code, _ = run_cli(["--nodes", "4", "--turns", "2",
+                       "--telemetry", str(sink),
+                       "--telemetry-every", "20", "stats", "figure3"])
+    assert code == 0
+    records = [json.loads(s) for s in sink.read_text().splitlines()]
+    assert records, "no heartbeats written"
+    for r in records:
+        assert r["record"] == "run.progress"
+        assert r["events"] % 20 == 0
+        assert r["queue_depth"] >= 0
+
+
+def test_telemetry_results_bit_identical(tmp_path):
+    base = tmp_path / "plain.json"
+    wired = tmp_path / "wired.json"
+    code, _ = run_cli(["table1", "--no-cache", "--json", str(base)])
+    assert code == 0
+    code, _ = run_cli(["table1", "--no-cache", "--json", str(wired),
+                       "--telemetry", str(tmp_path / "beats.jsonl"),
+                       "--telemetry-every", "50"])
+    assert code == 0
+    assert base.read_text() == wired.read_text()
+
+
+def test_progress_format_jsonl(tmp_path, capsys):
+    import json
+
+    code, _ = run_cli(["table1", "--no-cache", "--progress",
+                       "--progress-format", "jsonl"])
+    assert code == 0
+    records = [json.loads(s)
+               for s in capsys.readouterr().err.splitlines() if s]
+    kinds = [r["record"] for r in records]
+    assert kinds[0] == "sweep.start" and kinds[-1] == "sweep.done"
+    assert kinds.count("sweep.point") == records[0]["total"]
+
+
+def test_progress_format_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table1", "--progress-format", "csv"])

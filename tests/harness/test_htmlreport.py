@@ -10,7 +10,7 @@ from repro.harness.htmlreport import load_payload, render_report, write_report
 from repro.harness.instrumented import run_instrumented
 from repro.obs.schema import make_run_payload
 
-PANEL_IDS = ("panel-1", "panel-2", "panel-3", "panel-4")
+PANEL_IDS = ("panel-1", "panel-2", "panel-3", "panel-4", "panel-5")
 
 
 def _bench_table1_payload():
@@ -141,3 +141,22 @@ def test_write_report_and_load_payload_roundtrip(tmp_path):
 def test_invalid_payload_rejected():
     with pytest.raises(ValueError):
         render_report({"schema": "bogus/9", "results": {}})
+
+
+def test_profile_panel_renders_handler_bars():
+    from repro.obs.profile import profiled
+
+    with profiled() as prof:
+        run = run_instrumented("figure3", small_config(n_nodes=4), turns=2)
+    html = render_report(run.payload(profile=prof.snapshot()))
+    _assert_selfcontained(html)
+    assert "Host-time profile" in html
+    assert "engine.dispatch" in html
+    # At least one machine handler shows up as a bar label.
+    assert "CacheController" in html or "Process" in html
+
+
+def test_profile_panel_empty_state_without_section():
+    html = render_report(_bench_table1_payload())
+    assert "Host-time profile" in html
+    assert "repro profile" in html        # the empty state names the command

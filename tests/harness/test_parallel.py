@@ -239,3 +239,52 @@ def test_reseed_applies_derived_seeds():
     assert [o.point.seed for o in outcomes] == [
         derive_point_seed(p) for p in points
     ]
+
+
+def test_progress_jsonl_stream(capsys):
+    import json
+    import sys
+
+    events = EventBus()
+    parallel.attach_progress_jsonl(events, stream=sys.stderr)
+    run_sweep(counter_points()[:2], events=events)
+    records = [json.loads(s) for s in capsys.readouterr().err.splitlines()]
+    kinds = [r["record"] for r in records]
+    assert kinds == ["sweep.start", "sweep.point", "sweep.point",
+                     "sweep.done"]
+    for r in records:
+        if r["record"] != "sweep.point":
+            continue
+        assert r["cached"] is False
+        assert r["done"] in (1, 2) and r["total"] == 2
+        assert r["wall_seconds"] > 0
+        assert r["events"] > 0
+        assert r["events_per_second"] > 0
+    assert records[-1] == {"record": "sweep.done", "cached": 0,
+                           "executed": 2, "total": 2}
+
+
+def test_attach_progress_writer_dispatch():
+    import io
+
+    events = EventBus()
+    parallel.attach_progress_writer(events, "text", stream=io.StringIO())
+    parallel.attach_progress_writer(events, "jsonl", stream=io.StringIO())
+    with pytest.raises(ConfigError, match="progress format"):
+        parallel.attach_progress_writer(events, "csv")
+
+
+def test_point_telemetry_present_but_never_cached(tmp_path):
+    points = counter_points()[:2]
+    first = run_sweep(points, cache=tmp_path / "cache")
+    for outcome in first:
+        assert not outcome.cached
+        assert outcome.telemetry["wall_seconds"] > 0
+        assert outcome.telemetry["events"] > 0
+    # Cache hits replay simulation outputs only — host wall numbers
+    # from some earlier run must not resurface as if they were fresh.
+    second = run_sweep(points, cache=tmp_path / "cache")
+    for outcome in second:
+        assert outcome.cached
+        assert outcome.telemetry == {}
+    assert [o.result for o in second] == [o.result for o in first]

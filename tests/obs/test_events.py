@@ -128,3 +128,63 @@ def test_directory_queue_events():
     assert len(enters) == len(leaves)
     assert len(enters) > 0
     assert all(e.data["depth"] >= 1 for e in enters)
+
+
+def test_active_survives_middle_unsubscribe():
+    """``active`` must track the subscriber *count*, not the last token."""
+    bus = EventBus()
+    t1 = bus.subscribe(lambda e: None)
+    t2 = bus.subscribe(lambda e: None)
+    t3 = bus.subscribe(lambda e: None)
+    bus.unsubscribe(t2)
+    assert bus.active          # two subscribers remain
+    bus.unsubscribe(t1)
+    assert bus.active          # one remains
+    bus.unsubscribe(t3)
+    assert not bus.active
+    bus.unsubscribe(t2)        # double-unsubscribe is a no-op
+    assert not bus.active
+
+
+def test_active_after_drain_and_resubscribe():
+    """Draining all subscribers and re-subscribing must re-arm the bus."""
+    bus = EventBus()
+    got = []
+    t1 = bus.subscribe(got.append)
+    bus.unsubscribe(t1)
+    assert not bus.active
+    bus.emit("msg.send", 0)
+    assert bus.emitted == 0    # fast path: no Event constructed
+    t2 = bus.subscribe(got.append)
+    assert t2 != t1            # tokens are never reused
+    assert bus.active
+    bus.emit("msg.send", 1)
+    assert bus.emitted == 1
+    assert [e.ts for e in got] == [1]
+
+
+def test_mesh_fast_path_sees_midrun_subscribe():
+    """The ``bus.active`` guards at the mesh emission sites re-check on
+    every message, so a subscriber attached *mid-run* (from a scheduled
+    callback, as the telemetry heartbeat does) sees every later message
+    while the earlier ones ran the zero-cost path."""
+    def drive(subscribe_at):
+        m = make_machine(4)
+        got = []
+        if subscribe_at is not None:
+            m.sim.schedule(subscribe_at,
+                           lambda: m.events.subscribe(got.append,
+                                                      kinds=("msg.send",)))
+        addr = m.alloc_sync(SyncPolicy.INV, home=1)
+        run_one(m, 2, put, addr, 1)
+        run_one(m, 0, put, addr, 2)
+        return m, got
+
+    plain, _ = drive(None)
+    mid, got = drive(40)
+    # Observation must not perturb the simulation...
+    assert mid.now == plain.now
+    assert mid.mesh.stats.messages == plain.mesh.stats.messages
+    # ...and only sends from the subscription point onward are seen.
+    assert 0 < len(got) < mid.mesh.stats.messages
+    assert all(e.ts >= 40 for e in got)

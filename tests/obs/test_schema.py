@@ -13,6 +13,7 @@ from repro.obs.schema import (
 
 
 def _full_payload():
+    """An envelope carrying every optional section the schema knows."""
     return make_run_payload(
         "demo", params={"nodes": 4},
         results={"answer": 42},
@@ -23,6 +24,11 @@ def _full_payload():
                   "by_component": {}, "keys": {}, "worst": []},
         hotspots={"window": 256, "blocks_seen": 1,
                   "top": [{"block": 0, "score": 12}]},
+        perf={"wall_seconds": 0.125, "events_per_second": 800000.0},
+        profile={"total_ns": 1000, "attributed_ns": 900, "dispatch_ns": 100,
+                 "events": 5, "runs": 1,
+                 "kinds": {"Process.resume": {"calls": 5, "ns": 900,
+                                              "share": 0.9}}},
     )
 
 
@@ -30,13 +36,22 @@ def test_optional_sections_kept_and_validated():
     payload = _full_payload()
     assert set(payload) == {"schema", "experiment", "version", "params",
                             "results", "metrics", "latency", "critpath",
-                            "hotspots"}
+                            "hotspots", "perf", "profile"}
     assert validate_run_payload(payload) is payload
-    for key in ("critpath", "hotspots"):
+    for key in ("critpath", "hotspots", "profile"):
         bad = dict(payload)
         bad[key] = "nope"
         with pytest.raises(ValueError, match=key):
             validate_run_payload(bad)
+
+
+def test_all_sections_round_trip_through_json():
+    """Serialize → parse → validate with every optional section present."""
+    payload = _full_payload()
+    reparsed = validate_run_payload(json.dumps(payload))
+    assert reparsed == payload
+    assert reparsed["profile"]["kinds"]["Process.resume"]["calls"] == 5
+    assert reparsed["perf"]["wall_seconds"] == 0.125
 
 
 def test_sections_absent_when_not_given():
@@ -54,6 +69,8 @@ def test_jsonl_one_record_per_line_with_discriminator():
     assert kinds.count("latency") == 1
     assert kinds.count("critpath") == 1
     assert kinds.count("hotspot") == 1
+    assert kinds.count("perf") == 1
+    assert kinds.count("profile") == 1
     header = records[0]
     assert header["schema"] == SCHEMA
     assert header["experiment"] == "demo"
@@ -64,6 +81,8 @@ def test_jsonl_one_record_per_line_with_discriminator():
     assert by_kind["latency"]["p95"] == 11
     assert by_kind["critpath"]["cycles"] == 20
     assert by_kind["hotspot"]["block"] == 0
+    assert by_kind["perf"]["wall_seconds"] == 0.125
+    assert by_kind["profile"]["dispatch_ns"] == 100
     assert by_kind["results"]["results"] == {"answer": 42}
 
 

@@ -12,6 +12,11 @@ script therefore:
   baseline with **zero tolerance** — any drift fails;
 * fails on kernels missing from either side (a silently dropped kernel
   must not pass; a new kernel needs its baseline refreshed);
+* gates every kernel's ``peak_alloc_kib`` (tracemalloc peak during one
+  untimed rep — deterministic allocation volume, not RSS) inside a
+  ``--mem-tolerance`` band (default ±10%) around the baseline: a leak
+  or an allocation-happy change fails, and so does a big *improvement*,
+  which deserves a deliberate baseline refresh;
 * prints the wall-seconds / events-per-second deltas as an
   **informational** report only.
 
@@ -70,6 +75,29 @@ def walk_diffs(baseline: Any, current: Any, path: str) -> Iterator[str]:
         yield f"{path}: {current!r} != baseline {baseline!r}"
 
 
+def mem_diffs(base_kernels: dict, cur_kernels: dict,
+              tolerance: float) -> Iterator[str]:
+    """Yield a message per kernel whose peak allocations left the band."""
+    for name in sorted(base_kernels):
+        if name not in cur_kernels:
+            continue  # already reported as a missing kernel
+        base_kib = base_kernels[name].get("peak_alloc_kib")
+        cur_kib = cur_kernels[name].get("peak_alloc_kib")
+        if base_kib is None:
+            continue  # pre-gate baseline; refresh to start gating
+        if cur_kib is None:
+            yield f"{name}.peak_alloc_kib: missing from current run"
+            continue
+        if base_kib <= 0:
+            continue
+        delta = (cur_kib - base_kib) / base_kib
+        if abs(delta) > tolerance:
+            yield (
+                f"{name}.peak_alloc_kib: {cur_kib} KiB is {delta:+.1%} "
+                f"vs baseline {base_kib} KiB (tolerance ±{tolerance:.0%})"
+            )
+
+
 def wall_report(base_kernels: dict, cur_kernels: dict) -> List[str]:
     """Informational wall-clock comparison (never fails the gate)."""
     lines = ["wall-clock (informational; host-dependent, not gated):"]
@@ -106,6 +134,13 @@ def main(argv: List[str] | None = None) -> int:
         required=True,
         help="freshly generated BENCH_PERF.json envelope",
     )
+    parser.add_argument(
+        "--mem-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative band for peak_alloc_kib per kernel "
+             "(default 0.10 = ±10%%)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_envelope(args.baseline)
@@ -133,15 +168,20 @@ def main(argv: List[str] | None = None) -> int:
         ))
     for name in sorted(set(cur_kernels) - set(base_kernels)):
         problems.append(f"{name}: kernel not in baseline (refresh it)")
+    problems.extend(mem_diffs(base_kernels, cur_kernels,
+                              args.mem_tolerance))
 
     print("\n".join(wall_report(base_kernels, cur_kernels)))
     if problems:
         print()
-        print(f"FAIL: {len(problems)} deterministic-proxy divergence(s):")
+        print(f"FAIL: {len(problems)} divergence(s):")
         for problem in problems:
             print(f"  {problem}")
         return 1
-    print(f"OK: proxies of {len(base_kernels)} kernel(s) match the baseline")
+    print(
+        f"OK: proxies and peak allocations of {len(base_kernels)} "
+        f"kernel(s) match the baseline"
+    )
     return 0
 
 
