@@ -106,6 +106,7 @@ from .harness.htmlreport import load_payload, write_report
 from .harness.instrumented import INSTRUMENTED_EXPERIMENTS, run_instrumented
 from .harness.parallel import ResultCache, attach_progress_writer
 from .harness.report import render_histogram, render_table
+from .harness.shardwork import SHARD_WORKLOADS
 from .harness.table1 import TABLE1_EXPECTED, run_table1
 from .obs.events import EventBus
 from .obs.exporters import export_events, to_jsonl
@@ -260,6 +261,29 @@ def build_parser() -> argparse.ArgumentParser:
                       dest="kernels", metavar="NAME",
                       help="run only this kernel (repeatable; default all)")
     _add_common(perf, top_level=False)
+    shard = sub.add_parser(
+        "shard",
+        help="run one machine split across worker processes "
+             "(conservative time windows; bit-identical at any shard "
+             "count)",
+    )
+    shard.add_argument("--workload", default="golden_contention",
+                       choices=sorted(SHARD_WORKLOADS),
+                       help="shard-safe workload "
+                            "(default golden_contention)")
+    shard.add_argument("--shards", type=int, default=1,
+                       help="contiguous mesh regions / workers "
+                            "(default 1)")
+    shard.add_argument("--backend", choices=("inline", "process"),
+                       default="process",
+                       help="step regions in-process or one forked "
+                            "worker each (default process)")
+    shard.add_argument("--window", type=int, default=None,
+                       help="widen the sync window beyond the safe "
+                            "lookahead (only sound for region-local "
+                            "workloads; violations raise, never "
+                            "corrupt)")
+    _add_common(shard, top_level=False)
     profile = sub.add_parser(
         "profile",
         help="host-time attribution of a representative run",
@@ -520,6 +544,57 @@ def _cmd_perf(args, out) -> int:
     return 0
 
 
+def _cmd_shard(args, out) -> int:
+    import time
+
+    from .harness.shardrun import run_shard
+
+    t0 = time.perf_counter()
+    outcome = run_shard(
+        _config(args),
+        workload=args.workload,
+        shards=args.shards,
+        turns=args.turns,
+        backend=args.backend,
+        window=args.window,
+    )
+    wall = time.perf_counter() - t0
+    results = outcome.results
+    info = outcome.info
+    events = results["events"]
+    text = "\n".join([
+        f"shard — {args.workload}: {args.nodes} nodes, "
+        f"{info['shards']} region(s), {args.backend} backend",
+        f"counters match: {results['match']}  "
+        f"end_time: {results['end_time']} cycles  "
+        f"events: {events:,}",
+        f"windows: {info['windows']}  lookahead: {info['lookahead']}  "
+        f"boundary messages: {info['boundary_messages']}",
+        f"wall: {wall:.3f}s  "
+        f"({events / wall:,.0f} events/s)" if wall > 0 else "",
+    ])
+    out(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "shard.txt").write_text(text + "\n")
+    if args.json is not None:
+        # Run shape and host timings go in the perf section, which
+        # determinism diffs strip; results/metrics are bit-identical
+        # at any shard count.
+        payload = make_run_payload(
+            "shard",
+            params={"nodes": args.nodes, "turns": args.turns,
+                    "workload": args.workload, "shards": args.shards},
+            results=results,
+            metrics=outcome.metrics,
+            perf={**info, "wall_seconds": round(wall, 6),
+                  "events_per_second":
+                      round(events / wall, 1) if wall > 0 else 0.0},
+        )
+        dump_run(payload, args.json)
+    return 0 if results["match"] else 1
+
+
 def _cmd_profile(args, out) -> int:
     config = SimConfig().with_nodes(4 if args.quick else args.nodes)
     with profiled() as prof:
@@ -599,6 +674,7 @@ _COMMANDS: dict[str, Callable] = {
     "ablation-reservations": _cmd_ablation_reservations,
     "ablation-dropcopy": _cmd_ablation_dropcopy,
     "perf": _cmd_perf,
+    "shard": _cmd_shard,
     "profile": _cmd_profile,
     "stats": _cmd_stats,
     "trace": _cmd_trace,

@@ -1,0 +1,349 @@
+"""Conservative-window sharded execution of one machine.
+
+One simulated machine is split into contiguous node regions
+(:mod:`repro.network.partition`), each region running on its own
+:class:`~repro.machine.machine.Machine` instance with a
+:class:`~repro.network.shardmesh.ShardedWormholeMesh`.  A coordinator
+advances all regions in lockstep **windows**:
+
+1. Compute ``g`` — the earliest pending event time across all regions,
+   including boundary messages still in flight.
+2. Run every region up to ``g + lookahead - 1`` (exclusive of
+   ``g + lookahead``).  The lookahead is the minimum number of cycles a
+   message needs to cross between regions, so nothing sent inside the
+   window can *arrive* inside it: regions never see a message late.
+3. Exchange outboxes; boundary messages are injected into their
+   destination region's arrival buffers before the next window.
+
+Same-cycle cross-boundary arrivals are ordered by the arrival buffers'
+canonical ``(tail_arrival, send_time, src, src_seq)`` keys, not by which
+region delivered first — so the merged execution is **bit-identical**
+for every shard count, including ``shards=1`` (the reference the CI
+determinism job diffs against).  Registries merge commutatively
+(region order), and final counter values are resolved from per-region
+claims (:func:`repro.harness.shardwork.resolve_claims`).
+
+Backends: ``inline`` steps every region in this process (zero IPC —
+what the determinism tests and quick perf kernels use); ``process``
+forks one worker per region connected by pipes (what ``--shards`` uses
+for wall-clock speedup on multicore hosts).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..config import SimConfig
+from ..errors import ConfigError, DeadlockError, SimulationError
+from ..machine.machine import build_machine
+from ..network.partition import RegionPlan, make_plan
+from ..obs.registry import MetricsRegistry
+from .shardwork import collect_claims, get_workload, resolve_claims
+
+__all__ = ["ShardOutcome", "run_shard"]
+
+#: Window width used when there is a single region: no cross traffic
+#: exists, so any width is safe and bigger windows mean fewer rounds.
+_SOLO_WINDOW = 1 << 20
+
+
+@dataclass
+class ShardOutcome:
+    """One sharded run's merged, shard-count-invariant outputs.
+
+    ``results`` and ``metrics`` are pure simulation outputs (identical
+    for every shard count and backend); ``info`` describes the run's
+    *shape* (window count, lookahead, boundary traffic, backend) and
+    belongs in the envelope's ``perf`` section, which determinism diffs
+    strip.
+    """
+
+    results: dict[str, Any]
+    metrics: dict[str, Any]
+    info: dict[str, Any]
+    arrival_logs: list[list[tuple]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# One region's worker (used directly inline, or inside a forked process).
+# ----------------------------------------------------------------------
+
+class _ShardWorker:
+    """Owns one region's machine; steps it window by window."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        regions: tuple[tuple[int, ...], ...],
+        index: int,
+        workload_name: str,
+        turns: int,
+        log_arrivals: bool = False,
+    ) -> None:
+        self.machine = build_machine(config, region=regions[index])
+        if log_arrivals:
+            self.machine.mesh.arrival_log = []
+        workload = get_workload(workload_name)
+        self.ctx = workload.setup(self.machine, turns)
+        workload.spawn(self.machine, self.ctx, turns)
+
+    def next_time(self) -> Optional[int]:
+        return self.machine.sim.next_event_time()
+
+    def step(self, until: int, inbox: list) -> tuple[Optional[int], list]:
+        mesh = self.machine.mesh
+        if inbox:
+            mesh.inject(inbox)
+        self.machine.sim.run(until=until)
+        return self.machine.sim.next_event_time(), mesh.take_outbox()
+
+    def finish(self) -> dict[str, Any]:
+        machine = self.machine
+        finish_times = [
+            node.processor.finish_time
+            for node in machine.nodes
+            if node is not None and node.processor.finish_time is not None
+        ]
+        blocked = [
+            node.processor.process.name
+            for node in machine.nodes
+            if node is not None
+            and node.processor.process is not None
+            and not node.processor.process.done
+        ]
+        return {
+            "claims": collect_claims(machine, self.ctx),
+            "expected": self.ctx["expected"],
+            "snapshot": machine.registry.snapshot(),
+            "running": machine._running_programs,
+            "blocked": blocked,
+            "finish_time": max(finish_times) if finish_times else 0,
+            "arrivals": machine.mesh.arrival_log,
+        }
+
+
+# ----------------------------------------------------------------------
+# Backends.
+# ----------------------------------------------------------------------
+
+class _InlineBackend:
+    """All regions stepped in this process (no IPC, no pickling)."""
+
+    def __init__(self, config, plan, workload, turns, log_arrivals):
+        self.workers = [
+            _ShardWorker(config, plan.regions, i, workload, turns,
+                         log_arrivals)
+            for i in range(plan.n_shards)
+        ]
+
+    def start(self) -> list[Optional[int]]:
+        return [w.next_time() for w in self.workers]
+
+    def step_all(self, until, inboxes):
+        return [
+            w.step(until, inbox)
+            for w, inbox in zip(self.workers, inboxes)
+        ]
+
+    def finish_all(self) -> list[dict[str, Any]]:
+        return [w.finish() for w in self.workers]
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, config, regions, index, workload, turns,
+                 log_arrivals) -> None:
+    """Pipe-served region worker (child process entry point)."""
+    try:
+        worker = _ShardWorker(config, regions, index, workload, turns,
+                              log_arrivals)
+        conn.send(("ready", worker.next_time()))
+        while True:
+            request = conn.recv()
+            if request[0] == "step":
+                conn.send(("stepped", worker.step(request[1], request[2])))
+            elif request[0] == "finish":
+                conn.send(("finished", worker.finish()))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise SimulationError(f"unknown request {request[0]!r}")
+    except Exception as exc:
+        try:
+            conn.send(("error",
+                       f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}"))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessBackend:
+    """One forked process per region, star-connected by pipes."""
+
+    def __init__(self, config, plan, workload, turns, log_arrivals):
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self.conns = []
+        self.procs = []
+        for i in range(plan.n_shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, config, plan.regions, i, workload, turns,
+                      log_arrivals),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    def _recv(self, conn, want: str):
+        kind, payload = conn.recv()
+        if kind == "error":
+            self.close()
+            raise SimulationError(f"shard worker failed:\n{payload}")
+        if kind != want:  # pragma: no cover - protocol misuse
+            self.close()
+            raise SimulationError(f"expected {want!r}, got {kind!r}")
+        return payload
+
+    def start(self) -> list[Optional[int]]:
+        return [self._recv(conn, "ready") for conn in self.conns]
+
+    def step_all(self, until, inboxes):
+        for conn, inbox in zip(self.conns, inboxes):
+            conn.send(("step", until, inbox))
+        return [self._recv(conn, "stepped") for conn in self.conns]
+
+    def finish_all(self) -> list[dict[str, Any]]:
+        for conn in self.conns:
+            conn.send(("finish",))
+        return [self._recv(conn, "finished") for conn in self.conns]
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in self.procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+
+
+_BACKENDS = {"inline": _InlineBackend, "process": _ProcessBackend}
+
+
+# ----------------------------------------------------------------------
+# The coordinator.
+# ----------------------------------------------------------------------
+
+def run_shard(
+    config: SimConfig,
+    workload: str = "golden_contention",
+    shards: int = 1,
+    turns: int = 8,
+    backend: str = "inline",
+    cuts: tuple[int, ...] | None = None,
+    plan: RegionPlan | None = None,
+    log_arrivals: bool = False,
+    window: int | None = None,
+) -> ShardOutcome:
+    """Run ``workload`` on a machine split into ``shards`` regions.
+
+    Returns a :class:`ShardOutcome` whose ``results`` and ``metrics``
+    are identical for every ``shards``/``backend`` choice.  ``plan``
+    (or ``cuts``) overrides the default even partition — the property
+    tests use it to explore arbitrary contiguous region splits.
+
+    ``window`` widens the synchronization window beyond the safe
+    lookahead — an assertion by the caller that the workload's traffic
+    never crosses regions (e.g. ``local_faa``).  It trades rounds for
+    throughput; it can never trade correctness for throughput, because
+    a boundary message arriving inside a too-wide window raises
+    :class:`~repro.errors.SimulationError` instead of being delivered
+    late.
+    """
+    if backend not in _BACKENDS:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ConfigError(f"unknown backend {backend!r} (known: {known})")
+    if plan is None:
+        plan = make_plan(config, shards, cuts)
+    else:
+        plan.validate()
+    get_workload(workload)  # fail fast on unknown names
+    membership = plan.membership()
+    n_shards = plan.n_shards
+    width = plan.lookahead if n_shards > 1 else _SOLO_WINDOW
+    if window is not None and window > width:
+        width = window
+
+    runner = _BACKENDS[backend](config, plan, workload, turns, log_arrivals)
+    windows = 0
+    boundary_messages = 0
+    try:
+        next_times = runner.start()
+        inboxes: list[list] = [[] for _ in range(n_shards)]
+        while True:
+            g: Optional[int] = None
+            for t in next_times:
+                if t is not None and (g is None or t < g):
+                    g = t
+            for inbox in inboxes:
+                for entry in inbox:
+                    if g is None or entry[0] < g:
+                        g = entry[0]
+            if g is None:
+                break
+            stepped = runner.step_all(g + width - 1, inboxes)
+            next_times = [s[0] for s in stepped]
+            inboxes = [[] for _ in range(n_shards)]
+            for _, outbox in stepped:
+                for entry in outbox:
+                    inboxes[membership[entry[4]]].append(entry)
+                boundary_messages += len(outbox)
+            windows += 1
+        finished = runner.finish_all()
+    finally:
+        runner.close()
+
+    running = sum(f["running"] for f in finished)
+    if running > 0:
+        blocked = [name for f in finished for name in f["blocked"]]
+        raise DeadlockError(
+            f"sharded run drained with {running} program(s) blocked: "
+            f"{blocked[:8]}"
+        )
+    merged = MetricsRegistry()
+    for f in finished:
+        merged.merge_snapshot(f["snapshot"])
+    metrics = merged.snapshot()
+    counters = resolve_claims([f["claims"] for f in finished])
+    expected = finished[0]["expected"]
+    results = {
+        "workload": workload,
+        "counters": counters,
+        "expected": expected,
+        "match": counters == expected,
+        "end_time": max(f["finish_time"] for f in finished),
+        "events": metrics.get("sim.events_processed", 0),
+    }
+    info = {
+        "shards": n_shards,
+        "backend": backend,
+        "lookahead": plan.lookahead,
+        "windows": windows,
+        "boundary_messages": boundary_messages,
+    }
+    arrival_logs = [f["arrivals"] for f in finished] if log_arrivals else []
+    return ShardOutcome(results=results, metrics=metrics, info=info,
+                        arrival_logs=arrival_logs)

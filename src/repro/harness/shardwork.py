@@ -1,0 +1,227 @@
+"""Workloads runnable under intra-run sharding.
+
+A :class:`ShardWorkload` is a workload whose setup, programs, and result
+collection all work when the machine is split into regions
+(:mod:`repro.harness.shardrun`):
+
+* ``setup`` runs identically on **every** shard — allocation is pure
+  address arithmetic, so all shards agree on every address, while
+  initializing writes homed outside the shard's region are no-ops.
+* Programs are spawned for **all** pids on every shard; out-of-region
+  spawns are no-ops, so the same code expresses the whole machine's work.
+* ``collect`` reports picklable *claims* about final counter values
+  (in-region exclusive cache copies, in-region home memory words);
+  ``resolve`` on the coordinator prefers the unique exclusive-cache
+  claim over home memory, mirroring ``Machine.read_word``.
+
+Workloads avoid the features the sharded runner does not support: magic
+barriers (each region's :class:`~repro.processor.magic.BarrierManager`
+would wait for arrivals that happen in other regions) and the
+order-sensitive write-run/contention instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..cache.line import LineState
+from ..coherence.policy import SyncPolicy
+from ..errors import ConfigError
+from ..machine.machine import Machine
+from ..memory.directory import DirState
+
+__all__ = ["ShardWorkload", "SHARD_WORKLOADS", "get_workload"]
+
+
+@dataclass(frozen=True)
+class ShardWorkload:
+    """One shard-safe workload: setup + program + expected values."""
+
+    name: str
+    description: str
+    #: (machine, turns) -> context dict with at least ``counters`` (word
+    #: addresses) and ``expected`` (final values, same order).
+    setup: Callable[[Machine, int], dict[str, Any]]
+    #: (proc, ctx, turns) -> program generator for one processor.
+    program: Callable[..., Any]
+
+    def spawn(self, machine: Machine, ctx: dict[str, Any], turns: int) -> None:
+        """Start the workload's program on every (in-region) processor."""
+        machine.spawn_all(self.program, ctx, turns)
+
+
+# ----------------------------------------------------------------------
+# Result collection across regions.
+# ----------------------------------------------------------------------
+
+def collect_claims(machine: Machine, ctx: dict[str, Any]) -> list[dict]:
+    """This shard's knowledge of each counter's final value.
+
+    For every counter: the value of an in-region EXCLUSIVE cache copy
+    (at most one cache in the whole machine holds one), and — when the
+    home is in-region — the home memory word plus directory state.
+    """
+    claims: list[dict] = []
+    region = machine.region
+    for addr in ctx["counters"]:
+        block = machine.block_of(addr)
+        offset = machine.offset_of(addr)
+        home = machine.home_of(block)
+        claim: dict[str, Any] = {"cache": None, "memory": None, "dir": None}
+        for node in machine.nodes:
+            if node is None:
+                continue
+            line = node.controller.cache.lookup(block, touch=False)
+            if line is not None and line.state is LineState.EXCLUSIVE:
+                claim["cache"] = line.read_word(offset)
+        if region is None or home in region:
+            entry = machine.nodes[home].home.directory.entry(block)
+            claim["dir"] = entry.state.name
+            claim["memory"] = machine.nodes[home].memory.read_word(
+                block, offset
+            )
+        claims.append(claim)
+    return claims
+
+
+def resolve_claims(per_worker: list[list[dict]]) -> list[int]:
+    """Merge per-shard claims into final counter values.
+
+    An exclusive cache copy (unique machine-wide) wins; otherwise home
+    memory is authoritative.  Raises if the claims are inconsistent —
+    that would mean the shards disagree about the machine's final state.
+    """
+    if not per_worker:
+        raise ConfigError("no worker claims to resolve")
+    n = len(per_worker[0])
+    values: list[int] = []
+    for i in range(n):
+        cache_vals = [w[i]["cache"] for w in per_worker
+                      if w[i]["cache"] is not None]
+        mem_vals = [w[i]["memory"] for w in per_worker
+                    if w[i]["memory"] is not None]
+        dir_states = [w[i]["dir"] for w in per_worker
+                      if w[i]["dir"] is not None]
+        if len(cache_vals) > 1 or len(mem_vals) != 1:
+            raise ConfigError(
+                f"inconsistent claims for counter {i}: "
+                f"{len(cache_vals)} exclusive copies, "
+                f"{len(mem_vals)} home claims"
+            )
+        if cache_vals and dir_states == [DirState.EXCLUSIVE.name]:
+            values.append(cache_vals[0])
+        elif cache_vals and DirState.EXCLUSIVE.name not in dir_states:
+            # A stale exclusive line with the directory disagreeing
+            # would be a coherence bug; surface it rather than guess.
+            raise ConfigError(
+                f"counter {i}: exclusive cache copy but directory says "
+                f"{dir_states}"
+            )
+        elif cache_vals:
+            values.append(cache_vals[0])
+        else:
+            values.append(mem_vals[0])
+    return values
+
+
+# ----------------------------------------------------------------------
+# The workloads.
+# ----------------------------------------------------------------------
+
+def _golden_setup(machine: Machine, turns: int) -> dict[str, Any]:
+    n = machine.n_nodes
+    k = max(2, n // 4)
+    counters = []
+    for i in range(k):
+        home = (i * 3) % n  # spread homes so boundary traffic is real
+        counters.append(machine.alloc_sync(SyncPolicy.INV, home=home))
+    expected = [0] * k
+    for pid in range(n):
+        for t in range(turns):
+            expected[(pid + t) % k] += 1
+    return {"counters": counters, "expected": expected}
+
+
+def _golden_program(proc, ctx, turns):
+    counters = ctx["counters"]
+    k = len(counters)
+    for t in range(turns):
+        yield proc.think((proc.pid * 7 + t * 13) % 23 + 1)
+        yield proc.fetch_add(counters[(proc.pid + t) % k], 1)
+
+
+def _uniform_setup(machine: Machine, turns: int) -> dict[str, Any]:
+    n = machine.n_nodes
+    hot = machine.alloc_sync(SyncPolicy.INV, home=n // 2)
+    return {"counters": [hot], "expected": [n * turns]}
+
+
+def _uniform_program(proc, ctx, turns):
+    hot = ctx["counters"][0]
+    for _ in range(turns):
+        yield proc.fetch_add(hot, 1)
+
+
+SHARD_WORKLOADS: dict[str, ShardWorkload] = {
+    w.name: w
+    for w in (
+        ShardWorkload(
+            name="golden_contention",
+            description=(
+                "Rotating fetch&adds over n/4 INV counters with spread "
+                "homes and per-pid think jitter — the CI determinism "
+                "golden workload."
+            ),
+            setup=_golden_setup,
+            program=_golden_program,
+        ),
+        ShardWorkload(
+            name="uniform_faa",
+            description=(
+                "Every processor hammers one hot INV counter — maximum "
+                "contention, maximum cross-region traffic."
+            ),
+            setup=_uniform_setup,
+            program=_uniform_program,
+        ),
+    )
+}
+
+
+def _local_setup(machine: Machine, turns: int) -> dict[str, Any]:
+    n = machine.n_nodes
+    counters = [
+        machine.alloc_sync(SyncPolicy.INV, home=pid) for pid in range(n)
+    ]
+    return {"counters": counters, "expected": [turns] * n}
+
+
+def _local_program(proc, ctx, turns):
+    mine = ctx["counters"][proc.pid]
+    for _ in range(turns):
+        yield proc.fetch_add(mine, 1)
+
+
+SHARD_WORKLOADS["local_faa"] = ShardWorkload(
+    name="local_faa",
+    description=(
+        "Each processor fetch&adds a counter homed at its own node — "
+        "zero boundary traffic under any contiguous partition, so wide "
+        "windows are safe (``--window``) and sharding scales with "
+        "cores.  The shard_scaling perf kernel's workload."
+    ),
+    setup=_local_setup,
+    program=_local_program,
+)
+
+
+def get_workload(name: str) -> ShardWorkload:
+    """Look up a shard workload by name."""
+    try:
+        return SHARD_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(SHARD_WORKLOADS))
+        raise ConfigError(
+            f"unknown shard workload {name!r} (known: {known})"
+        ) from None

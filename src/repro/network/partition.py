@@ -1,0 +1,159 @@
+"""Mesh region partitioning for intra-run sharding.
+
+The sharded runner (:mod:`repro.harness.shardrun`) splits one machine
+into contiguous node regions, one worker per region, synchronized with
+conservative time windows.  The safe window width is the *lookahead*:
+the minimum number of cycles any message needs to cross from one region
+into another.  With wormhole X-Y routing the head flit pays
+``hop_cycles`` per hop, so a message sent at cycle ``t`` cannot arrive
+at a node ``d`` hops away before ``t + d * hop_cycles`` — the lookahead
+is ``hop_cycles`` times the minimum inter-region Manhattan distance.
+
+Regions are contiguous runs of node indices (row-major order), so on a
+square mesh each region is a band of rows plus at most a partial row on
+each side.  Any contiguous split is *correct* — correctness comes from
+the lookahead computed for the actual node sets — contiguity just keeps
+boundary traffic proportional to the cut, not the volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimConfig
+from ..errors import ConfigError
+
+__all__ = ["RegionPlan", "make_plan", "min_cross_distance"]
+
+
+@dataclass(frozen=True)
+class RegionPlan:
+    """A partition of one machine's nodes into worker regions.
+
+    Attributes:
+        n_nodes: Total node count (regions cover ``range(n_nodes)``).
+        regions: Tuple of node tuples, one per shard, disjoint, sorted.
+        lookahead: Conservative window width in cycles: no message sent
+            at cycle ``t`` from one region can arrive in another region
+            before ``t + lookahead``.
+    """
+
+    n_nodes: int
+    regions: tuple[tuple[int, ...], ...]
+    lookahead: int
+
+    @property
+    def n_shards(self) -> int:
+        """Number of regions."""
+        return len(self.regions)
+
+    def region_of(self, node: int) -> int:
+        """Index of the region containing ``node``."""
+        for i, nodes in enumerate(self.regions):
+            if node in nodes:
+                return i
+        raise ConfigError(f"node {node} not in any region")
+
+    def membership(self) -> list[int]:
+        """``node -> region`` lookup list (O(1) per query)."""
+        owner = [-1] * self.n_nodes
+        for i, nodes in enumerate(self.regions):
+            for node in nodes:
+                owner[node] = i
+        return owner
+
+    def validate(self) -> None:
+        """Check the regions are a disjoint cover; raise otherwise."""
+        seen: set[int] = set()
+        for nodes in self.regions:
+            if not nodes:
+                raise ConfigError("empty region in plan")
+            if seen & set(nodes):
+                raise ConfigError("overlapping regions in plan")
+            seen.update(nodes)
+        if seen != set(range(self.n_nodes)):
+            raise ConfigError(
+                f"regions cover {len(seen)} of {self.n_nodes} nodes"
+            )
+        if len(self.regions) > 1 and self.lookahead < 1:
+            raise ConfigError("multi-region plan needs lookahead >= 1")
+
+
+def min_cross_distance(
+    n_nodes: int, width: int, membership: list[int]
+) -> int:
+    """Minimum Manhattan distance between nodes of different regions.
+
+    Returns 0 when every node shares one region (no cross traffic).
+    Early-exits at distance 1 — the floor for distinct mesh positions —
+    so the common contiguous-partition case costs one boundary scan.
+    """
+    best = 0
+    coords = [(node % width, node // width) for node in range(n_nodes)]
+    for a in range(n_nodes):
+        ra = membership[a]
+        ax, ay = coords[a]
+        for b in range(a + 1, n_nodes):
+            if membership[b] == ra:
+                continue
+            bx, by = coords[b]
+            d = abs(ax - bx) + abs(ay - by)
+            if best == 0 or d < best:
+                best = d
+                if best == 1:
+                    return 1
+    return best
+
+
+def make_plan(
+    config: SimConfig,
+    n_shards: int,
+    cuts: tuple[int, ...] | None = None,
+) -> RegionPlan:
+    """Partition ``config``'s mesh into ``n_shards`` contiguous regions.
+
+    By default the node range splits into near-equal contiguous chunks.
+    ``cuts`` overrides the boundaries (ascending interior cut points in
+    ``(0, n_nodes)``; used by the property tests to explore arbitrary
+    contiguous partitions).  The lookahead is derived from the actual
+    minimum inter-region hop distance and the configured per-hop
+    latency, never assumed.
+    """
+    n_nodes = config.machine.n_nodes
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > n_nodes:
+        raise ConfigError(
+            f"cannot split {n_nodes} nodes into {n_shards} regions"
+        )
+    if cuts is None:
+        base, extra = divmod(n_nodes, n_shards)
+        bounds = [0]
+        for i in range(n_shards):
+            bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+    else:
+        if len(cuts) != n_shards - 1:
+            raise ConfigError(
+                f"{n_shards} regions need {n_shards - 1} cuts, "
+                f"got {len(cuts)}"
+            )
+        bounds = [0, *cuts, n_nodes]
+        if any(bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)):
+            raise ConfigError(f"cuts must ascend strictly: {cuts}")
+    regions = tuple(
+        tuple(range(bounds[i], bounds[i + 1])) for i in range(n_shards)
+    )
+    if n_shards == 1:
+        lookahead = 0
+    else:
+        membership = [0] * n_nodes
+        for i, nodes in enumerate(regions):
+            for node in nodes:
+                membership[node] = i
+        dist = min_cross_distance(
+            n_nodes, config.machine.mesh_width, membership
+        )
+        lookahead = dist * config.timing.hop_cycles
+    plan = RegionPlan(n_nodes=n_nodes, regions=regions, lookahead=lookahead)
+    plan.validate()
+    return plan

@@ -1,0 +1,192 @@
+"""Conservative-window sharded execution: determinism and safety."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import small_config
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.harness.shardrun import run_shard
+from repro.network.partition import RegionPlan
+
+CONFIG_16 = small_config(n_nodes=16)
+
+
+def outputs(outcome):
+    """The shard-count-invariant part of an outcome."""
+    return outcome.results, outcome.metrics
+
+
+# ----------------------------------------------------------------------
+# The invariant: results and metrics are identical at any shard count.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload",
+                         ["golden_contention", "uniform_faa", "local_faa"])
+def test_inline_shard_counts_are_bit_identical(workload):
+    reference = run_shard(CONFIG_16, workload=workload, shards=1, turns=4)
+    assert reference.results["match"], reference.results
+    for shards in (2, 3, 4):
+        outcome = run_shard(CONFIG_16, workload=workload, shards=shards,
+                            turns=4)
+        assert outputs(outcome) == outputs(reference), f"shards={shards}"
+        assert outcome.info["shards"] == shards
+
+
+def test_uneven_cuts_are_bit_identical():
+    reference = run_shard(CONFIG_16, shards=1, turns=4)
+    for cuts in ((1,), (5, 9), (2, 3, 15)):
+        outcome = run_shard(CONFIG_16, shards=len(cuts) + 1, turns=4,
+                            cuts=cuts)
+        assert outputs(outcome) == outputs(reference), f"cuts={cuts}"
+
+
+def test_process_backend_matches_inline():
+    inline = run_shard(CONFIG_16, shards=2, turns=3)
+    process = run_shard(CONFIG_16, shards=2, turns=3, backend="process")
+    assert outputs(process) == outputs(inline)
+    assert process.info["backend"] == "process"
+
+
+def test_arrival_streams_match_serial_order():
+    # The per-destination arrival log captures the order the mesh
+    # served contending messages; it must not depend on sharding.
+    reference = run_shard(CONFIG_16, shards=1, turns=3, log_arrivals=True)
+    sharded = run_shard(CONFIG_16, shards=4, turns=3, log_arrivals=True)
+    merged = sorted(entry for log in sharded.arrival_logs for entry in log)
+    assert merged == sorted(reference.arrival_logs[0])
+
+
+def test_boundary_traffic_only_when_sharded():
+    solo = run_shard(CONFIG_16, shards=1, turns=2)
+    assert solo.info["boundary_messages"] == 0
+    assert solo.info["lookahead"] == 0
+    split = run_shard(CONFIG_16, shards=2, turns=2)
+    assert split.info["boundary_messages"] > 0
+    assert split.info["lookahead"] >= 1
+    assert split.info["windows"] > 1
+
+
+# ----------------------------------------------------------------------
+# Window widening: faster when safe, loud when not.
+# ----------------------------------------------------------------------
+
+def test_wide_window_safe_for_local_traffic():
+    narrow = run_shard(CONFIG_16, workload="local_faa", shards=4, turns=4)
+    wide = run_shard(CONFIG_16, workload="local_faa", shards=4, turns=4,
+                     window=1 << 20)
+    assert outputs(wide) == outputs(narrow)
+    assert wide.info["windows"] < narrow.info["windows"]
+
+
+def test_wide_window_with_boundary_traffic_raises():
+    with pytest.raises(SimulationError, match="window was wider"):
+        run_shard(CONFIG_16, workload="golden_contention", shards=4,
+                  turns=2, window=1 << 20)
+
+
+# ----------------------------------------------------------------------
+# Error paths.
+# ----------------------------------------------------------------------
+
+def test_unknown_backend_and_workload_rejected():
+    with pytest.raises(ConfigError, match="unknown backend"):
+        run_shard(CONFIG_16, backend="threads")
+    with pytest.raises(ConfigError, match="unknown shard workload"):
+        run_shard(CONFIG_16, workload="nonesuch")
+
+
+def test_explicit_plan_is_validated():
+    bad = RegionPlan(16, (tuple(range(8)), tuple(range(8, 15))),
+                     lookahead=2)
+    with pytest.raises(ConfigError, match="cover"):
+        run_shard(CONFIG_16, shards=2, plan=bad)
+
+
+def test_worker_failure_propagates_from_process_backend(monkeypatch):
+    # A crash inside a forked region worker must surface as a
+    # SimulationError carrying the worker's traceback, not a hang.
+    from repro.harness import shardwork
+
+    def exploding_setup(machine, turns):
+        raise RuntimeError("boom in worker setup")
+
+    workload = shardwork.SHARD_WORKLOADS["local_faa"]
+    monkeypatch.setitem(
+        shardwork.SHARD_WORKLOADS,
+        "exploding",
+        shardwork.ShardWorkload(
+            name="exploding",
+            description="raises during setup",
+            setup=exploding_setup,
+            program=workload.program,
+        ),
+    )
+    with pytest.raises(SimulationError, match="boom in worker setup"):
+        run_shard(small_config(n_nodes=4), workload="exploding", shards=2,
+                  turns=1, backend="process")
+
+
+def test_deadlock_detected_across_regions(monkeypatch):
+    # Magic barriers are region-local, so a machine-wide barrier can
+    # never complete under sharding: each region's two arrivals wait
+    # for all four.  The coordinator must raise DeadlockError when the
+    # queues drain with programs still blocked, not return quietly.
+    from repro.harness import shardwork
+
+    def stuck_program(proc, ctx, turns):
+        yield proc.barrier(0)
+
+    workload = shardwork.SHARD_WORKLOADS["local_faa"]
+    monkeypatch.setitem(
+        shardwork.SHARD_WORKLOADS,
+        "stuck",
+        shardwork.ShardWorkload(
+            name="stuck",
+            description="waits on a barrier no region can fill",
+            setup=workload.setup,
+            program=stuck_program,
+        ),
+    )
+    with pytest.raises(DeadlockError, match="blocked"):
+        run_shard(small_config(n_nodes=4), workload="stuck", shards=2,
+                  turns=1)
+
+
+# ----------------------------------------------------------------------
+# CLI integration.
+# ----------------------------------------------------------------------
+
+def test_cli_shard_smoke(tmp_path):
+    out_path = tmp_path / "shard.json"
+    lines = []
+    code = cli_main(
+        ["--nodes", "16", "--turns", "2", "shard", "--shards", "2",
+         "--backend", "inline", "--json", str(out_path)],
+        out=lines.append,
+    )
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["experiment"] == "shard"
+    assert payload["results"]["match"] is True
+    assert payload["params"]["shards"] == 2
+    assert payload["perf"]["boundary_messages"] > 0
+
+
+def test_cli_shard_envelopes_match_across_shards(tmp_path):
+    docs = []
+    for shards in (1, 2):
+        out_path = tmp_path / f"s{shards}.json"
+        code = cli_main(
+            ["--nodes", "16", "--turns", "2", "shard",
+             "--shards", str(shards), "--backend", "inline",
+             "--json", str(out_path)],
+            out=lambda _line: None,
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        doc.pop("perf")
+        doc["params"].pop("shards")
+        docs.append(doc)
+    assert docs[0] == docs[1]

@@ -1,0 +1,96 @@
+"""Region partitioning for the sharded runner."""
+
+import pytest
+
+from repro.config import small_config
+from repro.errors import ConfigError
+from repro.network.partition import RegionPlan, make_plan, min_cross_distance
+
+
+def test_single_region_covers_everything_with_zero_lookahead():
+    plan = make_plan(small_config(n_nodes=16), 1)
+    assert plan.n_shards == 1
+    assert plan.regions == (tuple(range(16)),)
+    assert plan.lookahead == 0
+
+
+def test_even_split_is_contiguous_and_balanced():
+    plan = make_plan(small_config(n_nodes=16), 4)
+    assert plan.regions == (
+        (0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11), (12, 13, 14, 15),
+    )
+
+
+def test_uneven_split_gives_early_regions_the_extras():
+    plan = make_plan(small_config(n_nodes=10), 3)
+    assert [len(r) for r in plan.regions] == [4, 3, 3]
+    assert plan.regions[0] == (0, 1, 2, 3)
+    assert plan.regions[-1] == (7, 8, 9)
+
+
+def test_lookahead_is_hop_cycles_times_min_distance():
+    config = small_config(n_nodes=16)
+    plan = make_plan(config, 2)
+    # Contiguous halves of a 4x4 mesh touch (adjacent rows): distance 1.
+    assert plan.lookahead == config.timing.hop_cycles
+
+
+def test_explicit_cuts_override_even_split():
+    plan = make_plan(small_config(n_nodes=16), 3, cuts=(2, 11))
+    assert plan.regions == (
+        (0, 1), tuple(range(2, 11)), tuple(range(11, 16)),
+    )
+
+
+def test_cuts_must_match_shard_count_and_ascend():
+    config = small_config(n_nodes=16)
+    with pytest.raises(ConfigError, match="need 2 cuts"):
+        make_plan(config, 3, cuts=(4,))
+    with pytest.raises(ConfigError, match="ascend"):
+        make_plan(config, 3, cuts=(8, 8))
+    with pytest.raises(ConfigError, match="ascend"):
+        make_plan(config, 2, cuts=(16,))
+
+
+def test_shard_count_bounds():
+    config = small_config(n_nodes=4)
+    with pytest.raises(ConfigError, match=">= 1"):
+        make_plan(config, 0)
+    with pytest.raises(ConfigError, match="cannot split"):
+        make_plan(config, 5)
+
+
+def test_membership_inverts_regions():
+    plan = make_plan(small_config(n_nodes=10), 3)
+    owner = plan.membership()
+    for i, nodes in enumerate(plan.regions):
+        for node in nodes:
+            assert owner[node] == i
+    assert plan.region_of(9) == 2
+    with pytest.raises(ConfigError):
+        plan.region_of(10)
+
+
+def test_validate_rejects_bad_plans():
+    good = make_plan(small_config(n_nodes=4), 2)
+    good.validate()
+    with pytest.raises(ConfigError, match="empty region"):
+        RegionPlan(4, ((0, 1, 2, 3), ()), lookahead=2).validate()
+    with pytest.raises(ConfigError, match="overlapping"):
+        RegionPlan(4, ((0, 1, 2), (2, 3)), lookahead=2).validate()
+    with pytest.raises(ConfigError, match="cover"):
+        RegionPlan(4, ((0, 1), (2,)), lookahead=2).validate()
+    with pytest.raises(ConfigError, match="lookahead"):
+        RegionPlan(4, ((0, 1), (2, 3)), lookahead=0).validate()
+
+
+def test_min_cross_distance():
+    # 2x2 mesh split by row: nodes 0,1 vs 2,3 — vertical neighbours.
+    assert min_cross_distance(4, 2, [0, 0, 1, 1]) == 1
+    # Single region: no cross traffic at all.
+    assert min_cross_distance(4, 2, [0, 0, 0, 0]) == 0
+    # 1x4 line split in half: regions {0,1} and {2,3} meet at distance 1.
+    assert min_cross_distance(4, 4, [0, 0, 1, 1]) == 1
+    # Any partition of a connected mesh into 2+ regions has an adjacent
+    # cross-region pair somewhere, so contiguous plans always see 1.
+    assert min_cross_distance(4, 4, [0, 1, 1, 2]) == 1

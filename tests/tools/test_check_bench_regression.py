@@ -114,3 +114,58 @@ def test_committed_baselines_are_valid_envelopes():
     for path in baselines:
         payload = gate.load_envelope(path)
         assert payload["params"]["nodes"] == 64
+
+
+def test_update_baselines_rewrites_diverging_file(tmp_path, capsys):
+    base = envelope({"cycles": 120, "messages": 4})
+    cur = envelope({"cycles": 121, "messages": 4})
+    write(tmp_path / "base" / "BENCH_table1.json", base)
+    write(tmp_path / "cur" / "table1.json", cur)
+    code = gate.main([
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+        "--update-baselines",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "UPDATED table1" in out
+    assert "results.cycles" in out
+    assert "Rewrote 1 baseline(s)" in out
+    rewritten = json.loads(
+        (tmp_path / "base" / "BENCH_table1.json").read_text()
+    )
+    assert rewritten["results"]["cycles"] == 121
+    # The rewrite is canonical: a second gate run must pass cleanly.
+    code = gate.main([
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    ])
+    assert code == 0
+
+
+def test_update_baselines_leaves_matching_files_alone(tmp_path, capsys):
+    doc = envelope({"cycles": 120})
+    write(tmp_path / "base" / "BENCH_table1.json", doc)
+    write(tmp_path / "cur" / "table1.json", doc)
+    before = (tmp_path / "base" / "BENCH_table1.json").read_text()
+    code = gate.main([
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+        "--update-baselines",
+    ])
+    assert code == 0
+    assert "nothing rewritten" in capsys.readouterr().out
+    assert (tmp_path / "base" / "BENCH_table1.json").read_text() == before
+
+
+def test_update_baselines_cannot_invent_missing_output(tmp_path, capsys):
+    write(tmp_path / "base" / "BENCH_table1.json",
+          envelope({"cycles": 120}))
+    (tmp_path / "cur").mkdir()
+    code = gate.main([
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+        "--update-baselines",
+    ])
+    assert code == 1
+    assert "missing current output" in capsys.readouterr().out

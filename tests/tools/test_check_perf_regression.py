@@ -132,3 +132,43 @@ def test_committed_baseline_gates_itself():
     for name, k in doc["results"].items():
         assert k["peak_alloc_kib"] > 0, name
         assert k["proxies"], name
+
+
+def test_update_baselines_rewrites_and_reports(tmp_path, capsys):
+    base = envelope({"event_churn": kernel(events=60_016)})
+    cur = envelope({"event_churn": kernel(events=70_000)})
+    base_path = tmp_path / "base.json"
+    cur_path = tmp_path / "cur.json"
+    base_path.write_text(json.dumps(base))
+    cur_path.write_text(json.dumps(cur))
+    code = gate.main([
+        "--baseline", str(base_path),
+        "--current", str(cur_path),
+        "--update-baselines",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 change(s)" in out
+    assert "event_churn.proxies.events" in out
+    rewritten = json.loads(base_path.read_text())
+    assert rewritten["results"]["event_churn"]["proxies"]["events"] == 70_000
+    # The rewritten baseline must gate its own source cleanly.
+    assert gate.main([
+        "--baseline", str(base_path), "--current", str(cur_path),
+    ]) == 0
+
+
+def test_update_baselines_with_no_divergence_refreshes_walls(tmp_path,
+                                                             capsys):
+    doc = envelope({"event_churn": kernel()})
+    base_path = tmp_path / "base.json"
+    cur_path = tmp_path / "cur.json"
+    base_path.write_text(json.dumps(doc))
+    cur_path.write_text(json.dumps(doc))
+    code = gate.main([
+        "--baseline", str(base_path),
+        "--current", str(cur_path),
+        "--update-baselines",
+    ])
+    assert code == 0
+    assert "no divergences" in capsys.readouterr().out

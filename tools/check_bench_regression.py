@@ -151,6 +151,13 @@ def main(argv: List[str] | None = None) -> int:
         help="relative tolerance for numeric leaves (default 0: the "
         "simulator is deterministic)",
     )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="rewrite each diverging baseline from the current run and "
+             "print a per-file change summary (replaces hand-editing "
+             "the committed files)",
+    )
     args = parser.parse_args(argv)
 
     baselines = sorted(args.baseline_dir.glob(f"{BASELINE_PREFIX}*.json"))
@@ -159,6 +166,7 @@ def main(argv: List[str] | None = None) -> int:
         return 1
 
     failures: List[Tuple[str, List[str]]] = []
+    updated: List[str] = []
     for baseline_path in baselines:
         name = baseline_path.stem[len(BASELINE_PREFIX) :]
         current_path = args.current_dir / f"{name}.json"
@@ -168,7 +176,16 @@ def main(argv: List[str] | None = None) -> int:
             problems = compare_pair(baseline_path, current_path, args.tolerance)
         except Mismatch as exc:
             problems = [str(exc)]
-        if problems:
+        if problems and args.update_baselines and current_path.exists():
+            baseline_path.write_text(
+                json.dumps(json.loads(current_path.read_text()),
+                           indent=2, sort_keys=True) + "\n"
+            )
+            updated.append(name)
+            print(f"UPDATED {name}: {len(problems)} change(s)")
+            for problem in problems:
+                print(f"  {problem}")
+        elif problems:
             failures.append((name, problems))
             print(f"FAIL {name}")
             for problem in problems:
@@ -176,6 +193,18 @@ def main(argv: List[str] | None = None) -> int:
         else:
             print(f"ok   {name}")
 
+    if args.update_baselines:
+        if updated:
+            print(f"\nRewrote {len(updated)} baseline(s): "
+                  f"{', '.join(updated)}. Review and commit the diff.")
+        else:
+            print("\nAll baselines already match; nothing rewritten.")
+        if failures:
+            total = sum(len(p) for _, p in failures)
+            print(f"{len(failures)} benchmark(s) still failing "
+                  f"({total} leaves) — missing current output?")
+            return 1
+        return 0
     if failures:
         total = sum(len(p) for _, p in failures)
         print(f"\n{len(failures)} benchmark(s) regressed ({total} divergent leaves).")

@@ -141,6 +141,12 @@ def main(argv: List[str] | None = None) -> int:
         help="allowed relative band for peak_alloc_kib per kernel "
              "(default 0.10 = ±10%%)",
     )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="rewrite --baseline from --current and print a summary of "
+             "what changed (replaces hand-editing the committed file)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_envelope(args.baseline)
@@ -172,6 +178,19 @@ def main(argv: List[str] | None = None) -> int:
                               args.mem_tolerance))
 
     print("\n".join(wall_report(base_kernels, cur_kernels)))
+    if args.update_baselines:
+        args.baseline.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n"
+        )
+        print()
+        if problems:
+            print(f"updated {args.baseline}: {len(problems)} change(s):")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"updated {args.baseline}: no divergences "
+                  "(wall numbers refreshed)")
+        return 0
     if problems:
         print()
         print(f"FAIL: {len(problems)} divergence(s):")
