@@ -73,6 +73,18 @@ Host-level self-observability (see :mod:`repro.obs.profile`,
 force ``--jobs 1`` and disable the result cache for that invocation
 (a cache hit or pool worker would silently escape instrumentation).
 
+``repro shard`` wires its own observability because the simulation runs
+in region workers (see :mod:`repro.obs.shardobs`): ``--spans`` stitches
+per-region span records into the shard-count-invariant cross-shard
+critical path (the envelope's ``critpath`` section, byte-identical at
+any shard count), ``--profile``/``--telemetry`` profile and heartbeat
+*inside* each worker — over either backend — and merge at the
+coordinator, and ``--progress`` prints one ``shard.progress`` line per
+conservative window.  ``repro trend BENCH_trend.jsonl`` summarizes the
+nightly benchmark history: per-kernel wall/throughput deltas against
+the trailing median, with regression flags (``--strict`` turns flags
+into exit 1).
+
 Finally, ``repro report RUN.json [-o report.html]`` renders any
 ``repro.run/1`` document — from ``--json`` or a benchmark — into a
 single self-contained HTML file (inline SVG, no network access; see
@@ -283,7 +295,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "lookahead (only sound for region-local "
                             "workloads; violations raise, never "
                             "corrupt)")
+    shard.add_argument("--spans", action="store_true",
+                       help="collect per-region span records and stitch "
+                            "the cross-shard critical path (lands in the "
+                            "envelope's critpath section; identical at "
+                            "any shard count)")
     _add_common(shard, top_level=False)
+    trend = sub.add_parser(
+        "trend",
+        help="summarize a nightly BENCH_trend.jsonl history "
+             "(per-kernel wall/ev-s deltas, regression flags)",
+    )
+    trend.add_argument("history", type=pathlib.Path,
+                       help="BENCH_trend.jsonl file (one record per "
+                            "nightly run)")
+    trend.add_argument("--last", type=int, default=0, metavar="N",
+                       help="only consider the last N records "
+                            "(default: all)")
+    trend.add_argument("--threshold", type=float, default=10.0,
+                       metavar="PCT",
+                       help="flag wall/throughput deltas beyond this "
+                            "percent vs the trailing median "
+                            "(default 10)")
+    trend.add_argument("--strict", action="store_true",
+                       help="exit 1 when any kernel is flagged")
+    _add_common(trend, top_level=False)
     profile = sub.add_parser(
         "profile",
         help="host-time attribution of a representative run",
@@ -544,25 +580,74 @@ def _cmd_perf(args, out) -> int:
     return 0
 
 
+def _attach_shard_progress(bus: EventBus, fmt: str) -> None:
+    """Print one stderr line per completed conservative window."""
+    from .obs.telemetry import telemetry_line
+
+    def on_window(event) -> None:
+        data = event.data
+        if fmt == "jsonl":
+            print(telemetry_line({"record": "shard.progress", **data}),
+                  file=sys.stderr)
+        else:
+            rates = "/".join(f"{rate:,.0f}"
+                             for rate in data.get("events_per_second", []))
+            print(f"shard: window {data['window']} bound={data['bound']} "
+                  f"events={sum(data.get('events', ())):,} "
+                  f"ev/s={rates} in-flight={data['in_flight']}",
+                  file=sys.stderr)
+
+    bus.subscribe(on_window, kinds=("shard.progress",))
+
+
 def _cmd_shard(args, out) -> int:
     import time
 
     from .harness.shardrun import run_shard
+    from .obs.profile import ComponentProfiler
+    from .obs.shardobs import ShardObsOptions
+    from .obs.telemetry import TelemetryWriter
 
-    t0 = time.perf_counter()
-    outcome = run_shard(
-        _config(args),
-        workload=args.workload,
-        shards=args.shards,
-        turns=args.turns,
-        backend=args.backend,
-        window=args.window,
+    # Shard observability runs *inside* the workers (either backend) and
+    # is merged by the coordinator, so this command wires its own
+    # sessions instead of main()'s in-process profiled()/telemetry
+    # wrappers — those would only see the coordinator.
+    obs = ShardObsOptions(
+        spans=args.spans,
+        profile=args.profile,
+        telemetry_every=(args.telemetry_every
+                         if args.telemetry is not None else 0),
     )
-    wall = time.perf_counter() - t0
+    bus = EventBus()
+    if args.progress:
+        _attach_shard_progress(bus, args.progress_format)
+    with contextlib.ExitStack() as stack:
+        writer = None
+        if args.telemetry is not None:
+            if str(args.telemetry) == "-":
+                writer = TelemetryWriter()
+            else:
+                sink = stack.enter_context(open(args.telemetry, "w"))
+                writer = TelemetryWriter(sink)
+        t0 = time.perf_counter()
+        outcome = run_shard(
+            _config(args),
+            workload=args.workload,
+            shards=args.shards,
+            turns=args.turns,
+            backend=args.backend,
+            window=args.window,
+            obs=obs,
+            telemetry=writer,
+            events=bus if bus.active else None,
+        )
+        wall = time.perf_counter() - t0
     results = outcome.results
     info = outcome.info
+    shard_section = outcome.shard or {}
+    sync = shard_section.get("sync") or {}
     events = results["events"]
-    text = "\n".join([
+    lines = [
         f"shard — {args.workload}: {args.nodes} nodes, "
         f"{info['shards']} region(s), {args.backend} backend",
         f"counters match: {results['match']}  "
@@ -570,29 +655,74 @@ def _cmd_shard(args, out) -> int:
         f"events: {events:,}",
         f"windows: {info['windows']}  lookahead: {info['lookahead']}  "
         f"boundary messages: {info['boundary_messages']}",
-        f"wall: {wall:.3f}s  "
-        f"({events / wall:,.0f} events/s)" if wall > 0 else "",
-    ])
+    ]
+    if wall > 0:
+        lines.append(f"wall: {wall:.3f}s  ({events / wall:,.0f} events/s)")
+    if sync:
+        shares = " ".join(f"{row['busy_share']:.0%}"
+                          for row in sync.get("per_shard", ()))
+        lines.append(
+            f"sync: lookahead utilization "
+            f"{sync['lookahead_utilization']:.2f}  "
+            f"busy share/shard: {shares}")
+    if outcome.critpath is not None:
+        stitch = shard_section.get("stitch") or {}
+        lines.append(
+            f"stitched: {outcome.critpath['txns']} txns, "
+            f"critical path {outcome.critpath['cycles']:,} cycles "
+            f"({stitch.get('records', 0):,} records, "
+            f"{stitch.get('orphans', 0)} orphans)")
+    text = "\n".join(lines)
     out(text)
+    if args.profile and shard_section.get("profile"):
+        merged = ComponentProfiler()
+        merged.merge_snapshot(shard_section["profile"])
+        print(merged.render(top_n=12), file=sys.stderr)
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / "shard.txt").write_text(text + "\n")
     if args.json is not None:
-        # Run shape and host timings go in the perf section, which
-        # determinism diffs strip; results/metrics are bit-identical
-        # at any shard count.
+        # Run shape and host timings go in the perf/shard sections,
+        # which determinism diffs strip; results/metrics — and the
+        # stitched critpath, when --spans — are bit-identical at any
+        # shard count.
         payload = make_run_payload(
             "shard",
             params={"nodes": args.nodes, "turns": args.turns,
                     "workload": args.workload, "shards": args.shards},
             results=results,
             metrics=outcome.metrics,
+            critpath=outcome.critpath,
             perf={**info, "wall_seconds": round(wall, 6),
                   "events_per_second":
                       round(events / wall, 1) if wall > 0 else 0.0},
+            profile=shard_section.get("profile"),
+            shard=shard_section or None,
         )
         dump_run(payload, args.json)
     return 0 if results["match"] else 1
+
+
+def _cmd_trend(args, out) -> int:
+    from .harness.trend import (
+        load_trend,
+        render_trend,
+        summarize_trend,
+        trend_payload,
+    )
+
+    records = load_trend(args.history, last=args.last)
+    summary = summarize_trend(records, threshold_pct=args.threshold)
+    text = render_trend(summary)
+    out(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "trend.txt").write_text(text + "\n")
+    if args.json is not None:
+        dump_run(trend_payload(summary), args.json)
+    if args.strict and summary["regressions"]:
+        return 1
+    return 0
 
 
 def _cmd_profile(args, out) -> int:
@@ -675,6 +805,7 @@ _COMMANDS: dict[str, Callable] = {
     "ablation-dropcopy": _cmd_ablation_dropcopy,
     "perf": _cmd_perf,
     "shard": _cmd_shard,
+    "trend": _cmd_trend,
     "profile": _cmd_profile,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
@@ -705,6 +836,11 @@ def main(argv: Optional[Sequence[str]] = None,
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     command = _COMMANDS[args.command]
+    if args.command == "shard":
+        # Sharded runs observe inside their workers (either backend);
+        # the in-process profiled()/telemetry sessions below would only
+        # see the coordinator, so the shard command wires its own.
+        return command(args, out)
     want_profile = bool(getattr(args, "profile", False))
     telemetry_out = getattr(args, "telemetry", None)
     if not want_profile and telemetry_out is None:

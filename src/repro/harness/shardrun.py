@@ -27,6 +27,18 @@ Backends: ``inline`` steps every region in this process (zero IPC —
 what the determinism tests and quick perf kernels use); ``process``
 forks one worker per region connected by pipes (what ``--shards`` uses
 for wall-clock speedup on multicore hosts).
+
+Observability (:mod:`repro.obs.shardobs`): pass ``obs=`` a
+:class:`~repro.obs.shardobs.ShardObsOptions` to collect span records, a
+host-time profile, and telemetry beats *inside* each worker — over
+either backend — shipped with the finish payload and merged here.  The
+coordinator itself always measures its synchronization shape (windows,
+lookahead utilization, per-shard busy/blocked wall, traffic matrix,
+queue depths) into :attr:`ShardOutcome.shard`, and emits one
+``shard.progress`` record per window on the optional ``telemetry``
+writer / ``events`` bus.  With ``obs=None`` the workers attach nothing:
+the simulators stay in their fast dispatch loop and results/metrics are
+bit-identical to an unobserved run.
 """
 
 from __future__ import annotations
@@ -34,13 +46,22 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Optional
 
 from ..config import SimConfig
 from ..errors import ConfigError, DeadlockError, SimulationError
 from ..machine.machine import build_machine
 from ..network.partition import RegionPlan, make_plan
+from ..obs.profile import ComponentProfiler, profiled
 from ..obs.registry import MetricsRegistry
+from ..obs.shardobs import (
+    BeatBuffer,
+    ShardObsOptions,
+    ShardSpanCollector,
+    stitched_critpath,
+)
+from ..obs.telemetry import Heartbeat
 from .shardwork import collect_claims, get_workload, resolve_claims
 
 __all__ = ["ShardOutcome", "run_shard"]
@@ -55,16 +76,24 @@ class ShardOutcome:
     """One sharded run's merged, shard-count-invariant outputs.
 
     ``results`` and ``metrics`` are pure simulation outputs (identical
-    for every shard count and backend); ``info`` describes the run's
-    *shape* (window count, lookahead, boundary traffic, backend) and
-    belongs in the envelope's ``perf`` section, which determinism diffs
-    strip.
+    for every shard count and backend), and so is ``critpath`` — the
+    stitched critical-path blame when span collection was enabled.
+    ``info`` describes the run's *shape* (window count, lookahead,
+    boundary traffic, backend) and belongs in the envelope's ``perf``
+    section; ``shard`` is the host-dependent sync-metrics section
+    (wall times, traffic matrix, merged profile, stitch/telemetry
+    stats).  Determinism diffs strip both.  ``graphs`` holds the
+    stitched :class:`~repro.obs.spans.TxnSpanGraph` objects for callers
+    that want more than the aggregate.
     """
 
     results: dict[str, Any]
     metrics: dict[str, Any]
     info: dict[str, Any]
     arrival_logs: list[list[tuple]] = field(default_factory=list)
+    shard: Optional[dict[str, Any]] = None
+    critpath: Optional[dict[str, Any]] = None
+    graphs: list[Any] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -82,10 +111,29 @@ class _ShardWorker:
         workload_name: str,
         turns: int,
         log_arrivals: bool = False,
+        obs: Optional[ShardObsOptions] = None,
     ) -> None:
-        self.machine = build_machine(config, region=regions[index])
+        self.profiler: Optional[ComponentProfiler] = None
+        self.collector: Optional[ShardSpanCollector] = None
+        self.beats: Optional[BeatBuffer] = None
+        self.busy_seconds = 0.0
+        if obs is not None and obs.profile:
+            # The simulator picks up the active profiler at
+            # construction, so the session only needs to span the build.
+            self.profiler = ComponentProfiler()
+            with profiled(self.profiler):
+                self.machine = build_machine(config, region=regions[index])
+        else:
+            self.machine = build_machine(config, region=regions[index])
         if log_arrivals:
             self.machine.mesh.arrival_log = []
+        if obs is not None and obs.spans:
+            self.collector = ShardSpanCollector(self.machine.events)
+            self.machine.mesh.span_log = self.collector.records
+        if obs is not None and obs.telemetry_every > 0:
+            self.beats = BeatBuffer()
+            Heartbeat(self.machine, every=obs.telemetry_every,
+                      writer=self.beats)
         workload = get_workload(workload_name)
         self.ctx = workload.setup(self.machine, turns)
         workload.spawn(self.machine, self.ctx, turns)
@@ -93,12 +141,20 @@ class _ShardWorker:
     def next_time(self) -> Optional[int]:
         return self.machine.sim.next_event_time()
 
-    def step(self, until: int, inbox: list) -> tuple[Optional[int], list]:
+    def step(
+        self, until: int, inbox: list
+    ) -> tuple[Optional[int], list, int, int]:
+        """Run one window; reply (next event, outbox, events, depth)."""
+        t0 = perf_counter()
         mesh = self.machine.mesh
         if inbox:
             mesh.inject(inbox)
-        self.machine.sim.run(until=until)
-        return self.machine.sim.next_event_time(), mesh.take_outbox()
+        sim = self.machine.sim
+        sim.run(until=until)
+        self.busy_seconds += perf_counter() - t0
+        outbox = mesh.take_outbox()
+        return (sim.next_event_time(), outbox, sim.events_processed,
+                mesh.in_flight())
 
     def finish(self) -> dict[str, Any]:
         machine = self.machine
@@ -122,6 +178,13 @@ class _ShardWorker:
             "blocked": blocked,
             "finish_time": max(finish_times) if finish_times else 0,
             "arrivals": machine.mesh.arrival_log,
+            "events": machine.sim.events_processed,
+            "busy_seconds": self.busy_seconds,
+            "records": (self.collector.records
+                        if self.collector is not None else None),
+            "profile": (self.profiler.snapshot()
+                        if self.profiler is not None else None),
+            "beats": self.beats.records if self.beats is not None else [],
         }
 
 
@@ -132,10 +195,10 @@ class _ShardWorker:
 class _InlineBackend:
     """All regions stepped in this process (no IPC, no pickling)."""
 
-    def __init__(self, config, plan, workload, turns, log_arrivals):
+    def __init__(self, config, plan, workload, turns, log_arrivals, obs):
         self.workers = [
             _ShardWorker(config, plan.regions, i, workload, turns,
-                         log_arrivals)
+                         log_arrivals, obs)
             for i in range(plan.n_shards)
         ]
 
@@ -156,11 +219,11 @@ class _InlineBackend:
 
 
 def _worker_main(conn, config, regions, index, workload, turns,
-                 log_arrivals) -> None:
+                 log_arrivals, obs) -> None:
     """Pipe-served region worker (child process entry point)."""
     try:
         worker = _ShardWorker(config, regions, index, workload, turns,
-                              log_arrivals)
+                              log_arrivals, obs)
         conn.send(("ready", worker.next_time()))
         while True:
             request = conn.recv()
@@ -185,7 +248,7 @@ def _worker_main(conn, config, regions, index, workload, turns,
 class _ProcessBackend:
     """One forked process per region, star-connected by pipes."""
 
-    def __init__(self, config, plan, workload, turns, log_arrivals):
+    def __init__(self, config, plan, workload, turns, log_arrivals, obs):
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
@@ -197,7 +260,7 @@ class _ProcessBackend:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child, config, plan.regions, i, workload, turns,
-                      log_arrivals),
+                      log_arrivals, obs),
                 daemon=True,
             )
             proc.start()
@@ -257,6 +320,9 @@ def run_shard(
     plan: RegionPlan | None = None,
     log_arrivals: bool = False,
     window: int | None = None,
+    obs: Optional[ShardObsOptions] = None,
+    telemetry: Optional[Any] = None,
+    events: Optional[Any] = None,
 ) -> ShardOutcome:
     """Run ``workload`` on a machine split into ``shards`` regions.
 
@@ -272,6 +338,14 @@ def run_shard(
     a boundary message arriving inside a too-wide window raises
     :class:`~repro.errors.SimulationError` instead of being delivered
     late.
+
+    ``obs`` enables in-worker observability (spans / profile /
+    telemetry beats; see :class:`~repro.obs.shardobs.ShardObsOptions`),
+    ``telemetry`` receives one ``shard.progress`` JSONL record per
+    window (plus the workers' shipped heartbeats), and ``events`` is an
+    optional coordinator-side :class:`~repro.obs.events.EventBus` for
+    the same per-window progress.  All three default to off, leaving
+    the workers unobserved.
     """
     if backend not in _BACKENDS:
         known = ", ".join(sorted(_BACKENDS))
@@ -281,18 +355,32 @@ def run_shard(
     else:
         plan.validate()
     get_workload(workload)  # fail fast on unknown names
+    if obs is not None and not obs.enabled:
+        obs = None
     membership = plan.membership()
     n_shards = plan.n_shards
     width = plan.lookahead if n_shards > 1 else _SOLO_WINDOW
     if window is not None and window > width:
         width = window
 
-    runner = _BACKENDS[backend](config, plan, workload, turns, log_arrivals)
+    runner = _BACKENDS[backend](config, plan, workload, turns,
+                                log_arrivals, obs)
     windows = 0
     boundary_messages = 0
+    traffic = [[0] * n_shards for _ in range(n_shards)]
+    max_outbox = 0
+    max_depth = 0
+    advance_total = 0
+    prev_g: Optional[int] = None
+    last_events = [0] * n_shards
+    live = telemetry is not None or (events is not None
+                                     and getattr(events, "active", False))
+    loop_wall = 0.0
     try:
         next_times = runner.start()
         inboxes: list[list] = [[] for _ in range(n_shards)]
+        loop_t0 = perf_counter()
+        last_beat = loop_t0
         while True:
             g: Optional[int] = None
             for t in next_times:
@@ -304,14 +392,43 @@ def run_shard(
                         g = entry[0]
             if g is None:
                 break
-            stepped = runner.step_all(g + width - 1, inboxes)
+            until = g + width - 1
+            stepped = runner.step_all(until, inboxes)
             next_times = [s[0] for s in stepped]
             inboxes = [[] for _ in range(n_shards)]
-            for _, outbox in stepped:
+            for src_shard, (_, outbox, _, depth) in enumerate(stepped):
                 for entry in outbox:
-                    inboxes[membership[entry[4]]].append(entry)
+                    dst_shard = membership[entry[4]]
+                    traffic[src_shard][dst_shard] += 1
+                    inboxes[dst_shard].append(entry)
                 boundary_messages += len(outbox)
+                if len(outbox) > max_outbox:
+                    max_outbox = len(outbox)
+                if depth > max_depth:
+                    max_depth = depth
+            if prev_g is not None:
+                advance_total += g - prev_g
+            prev_g = g
             windows += 1
+            deltas = [s[2] - e for s, e in zip(stepped, last_events)]
+            last_events = [s[2] for s in stepped]
+            if live:
+                now_wall = perf_counter()
+                dt = now_wall - last_beat
+                last_beat = now_wall
+                eps = [round(d / dt, 1) if dt > 0 else 0.0 for d in deltas]
+                in_flight = sum(len(inbox) for inbox in inboxes)
+                if telemetry is not None:
+                    telemetry.write({
+                        "record": "shard.progress", "window": windows,
+                        "bound": g, "until": until, "events": last_events,
+                        "events_per_second": eps, "in_flight": in_flight,
+                    })
+                if events is not None and events.active:
+                    events.emit("shard.progress", g, window=windows,
+                                bound=g, until=until, events=last_events,
+                                events_per_second=eps, in_flight=in_flight)
+        loop_wall = perf_counter() - loop_t0
         finished = runner.finish_all()
     finally:
         runner.close()
@@ -344,6 +461,72 @@ def run_shard(
         "windows": windows,
         "boundary_messages": boundary_messages,
     }
+
+    # Sync metrics: the coordinator's own shape + per-shard wall split.
+    busy = [float(f.get("busy_seconds", 0.0)) for f in finished]
+    shard_section: dict[str, Any] = {
+        "sync": {
+            "shards": n_shards,
+            "backend": backend,
+            "lookahead": plan.lookahead,
+            "window": width,
+            "windows": windows,
+            "boundary_messages": boundary_messages,
+            "avg_window_advance": (round(advance_total / (windows - 1), 3)
+                                   if windows > 1 else float(width)),
+            "lookahead_utilization": (
+                round(advance_total / ((windows - 1) * width), 4)
+                if windows > 1 else 1.0
+            ),
+            "wall_seconds": round(loop_wall, 6),
+            "traffic_matrix": traffic,
+            "max_outbox_depth": max_outbox,
+            "max_arrival_depth": max_depth,
+            "per_shard": [
+                {
+                    "shard": i,
+                    "nodes": len(plan.regions[i]),
+                    "events": int(f.get("events", 0)),
+                    "busy_seconds": round(b, 6),
+                    "blocked_seconds": round(max(0.0, loop_wall - b), 6),
+                    "busy_share": (round(b / loop_wall, 4)
+                                   if loop_wall > 0 else 0.0),
+                }
+                for i, (f, b) in enumerate(zip(finished, busy))
+            ],
+        },
+    }
+
+    profile_snapshot = None
+    if obs is not None and obs.profile:
+        merged_prof = ComponentProfiler()
+        for f in finished:
+            if f.get("profile"):
+                merged_prof.merge_snapshot(f["profile"])
+        profile_snapshot = merged_prof.snapshot()
+        shard_section["profile"] = profile_snapshot
+
+    if obs is not None and obs.telemetry_every > 0:
+        beats_per_shard = [len(f.get("beats") or []) for f in finished]
+        if telemetry is not None:
+            for i, f in enumerate(finished):
+                for beat in f.get("beats") or []:
+                    telemetry.write({**beat, "shard": i})
+        shard_section["telemetry"] = {
+            "every": obs.telemetry_every,
+            "beats": sum(beats_per_shard),
+            "per_shard": beats_per_shard,
+        }
+
+    critpath = None
+    graphs: list[Any] = []
+    if obs is not None and obs.spans:
+        critpath, graphs, stitch_stats = stitched_critpath(
+            [f.get("records") or [] for f in finished]
+        )
+        shard_section["stitch"] = stitch_stats
+
     arrival_logs = [f["arrivals"] for f in finished] if log_arrivals else []
     return ShardOutcome(results=results, metrics=metrics, info=info,
-                        arrival_logs=arrival_logs)
+                        arrival_logs=arrival_logs, shard=shard_section,
+                        critpath=critpath, graphs=graphs)

@@ -37,7 +37,18 @@ Consequences worth knowing:
 * ``msg.txn`` never crosses a boundary.  Receivers match replies through
   their MSHRs (by block), never through ``txn``, so stripping it is
   invisible to the protocol; it only feeds latency-breakdown credits,
-  which the sharded mesh does not record.
+  which the sharded mesh does not record.  The boundary tuple *does*
+  carry a ``has_txn`` flag, and :meth:`ShardedWormholeMesh.inject`
+  re-arms the reconstructed message with a sentinel foreign transaction:
+  downstream components propagate and test ``txn`` only via
+  ``txn is not None`` / ``getattr(txn, "breakdown", None)``, so the
+  sentinel keeps transaction-ness observable (``mem.service`` events and
+  the span log stay shard-invariant) without any protocol effect.
+* When :attr:`ShardedWormholeMesh.span_log` is set (a list shared with
+  :class:`~repro.obs.shardobs.ShardSpanCollector`), every transaction-
+  carrying message appends one ``("msg", send, done, src, dst, mtype,
+  requester)`` record at the point its delivery cycle is known — the
+  exit port for routed messages, the send for node-local ones.
 """
 
 from __future__ import annotations
@@ -57,8 +68,23 @@ __all__ = ["ShardedWormholeMesh", "BoundaryMessage"]
 
 #: One boundary-crossing message, as primitive picklable fields:
 #: (tail_arrival, send_time, src, src_seq, dst, mtype_name, unit_name,
-#:  block, chain, requester, payload).
+#:  block, chain, requester, payload, has_txn).
 BoundaryMessage = tuple
+
+
+class _ForeignTxn:
+    """Stands in for a transaction object stripped at a region boundary.
+
+    It deliberately has no attributes: every consumer reaches the real
+    transaction only through ``getattr(txn, "breakdown", None)`` or
+    propagates it verbatim, so the sentinel preserves ``txn is not
+    None`` observability (and nothing else) across regions.
+    """
+
+    __slots__ = ()
+
+
+_FOREIGN_TXN = _ForeignTxn()
 
 # Arrival-buffer entries sort by (tail_arrival, send_time, src, src_seq)
 # — a shard-invariant total order: (src, src_seq) is unique, so the
@@ -92,6 +118,12 @@ class ShardedWormholeMesh(WormholeMesh):
         # appends (dst, tail_arrival, send_time, src, src_seq) here —
         # the property tests compare these streams across shard counts.
         self.arrival_log: Optional[list[tuple]] = None
+        # Optional span hook: when not None, every transaction-carrying
+        # message appends ("msg", send, done, src, dst, mtype,
+        # requester) here once its delivery cycle is known (see
+        # repro.obs.shardobs).  None costs one attribute check per
+        # delivery, like the EventBus.active guard.
+        self.span_log: Optional[list[tuple]] = None
 
     # ------------------------------------------------------------------
     # Sending.
@@ -111,6 +143,9 @@ class ShardedWormholeMesh(WormholeMesh):
             done = now + self._local_access
             self._c_local.value += 1
             self._bump_type(mtype)
+            if self.span_log is not None and msg.txn is not None:
+                self.span_log.append(("msg", now, done, src, dst,
+                                      mtype.value, msg.requester))
             handler = self._unit_handlers[msg.unit][dst]
             sim.schedule(done - now, handler, msg)
             return
@@ -141,7 +176,7 @@ class ShardedWormholeMesh(WormholeMesh):
             self._outbox.append((
                 tail_arrival, now, src, src_seq, dst, mtype.name,
                 msg.unit.name, msg.block, msg.chain, msg.requester,
-                msg.payload,
+                msg.payload, msg.txn is not None,
             ))
             msg.payload = None  # the outbox tuple owns it now
             Message.release(msg)
@@ -170,6 +205,7 @@ class ShardedWormholeMesh(WormholeMesh):
         now = self.sim._now
         exit_free = self._exit_free
         log = self.arrival_log
+        span_log = self.span_log
         handlers = self._unit_handlers
         schedule_priority = self.sim.schedule_priority
         while arrivals and arrivals[0][0] == now:
@@ -185,6 +221,9 @@ class ShardedWormholeMesh(WormholeMesh):
             self._latency_hist.observe(latency)
             if log is not None:
                 log.append((dst, tail_arrival, send_time, src, src_seq))
+            if span_log is not None and msg.txn is not None:
+                span_log.append(("msg", send_time, done, src, dst,
+                                 msg.mtype.value, msg.requester))
             schedule_priority(done - now, handlers[msg.unit][dst], msg)
 
     # ------------------------------------------------------------------
@@ -201,14 +240,16 @@ class ShardedWormholeMesh(WormholeMesh):
         """Accept boundary messages addressed to this region.
 
         Called between window runs, at a cycle no later than any
-        entry's tail arrival (the conservative-window invariant).  The
-        reconstructed message carries ``txn=None``; see the module
-        docstring for why that is invisible to the protocol.
+        entry's tail arrival (the conservative-window invariant).  A
+        message that carried a transaction is re-armed with the
+        sentinel foreign transaction; see the module docstring for why
+        that is invisible to the protocol.
         """
         sim = self.sim
         now = sim._now
         for (tail_arrival, send_time, src, src_seq, dst, mtype_name,
-             unit_name, block, chain, requester, payload) in entries:
+             unit_name, block, chain, requester, payload,
+             has_txn) in entries:
             if tail_arrival <= now:
                 raise SimulationError(
                     f"boundary message {src}->{dst} arrives at "
@@ -217,6 +258,7 @@ class ShardedWormholeMesh(WormholeMesh):
                 )
             msg = Message.acquire(
                 MessageType[mtype_name], src, dst, Unit[unit_name], block,
+                txn=_FOREIGN_TXN if has_txn else None,
                 chain=chain, requester=requester, payload=payload,
             )
             heappush(self._arrivals[dst],

@@ -30,6 +30,10 @@ kind                        meaning
 ``run.progress``            a telemetry heartbeat: host throughput,
                             queue depth, RSS, GC counts (see
                             :mod:`repro.obs.telemetry`)
+``shard.progress``          one conservative window completed in a
+                            sharded run: global time bound, per-shard
+                            event counts and events/s (see
+                            :func:`repro.harness.shardrun.run_shard`)
 ==========================  ===========================================
 
 The ``sweep.*`` kinds are emitted by
@@ -37,8 +41,11 @@ The ``sweep.*`` kinds are emitted by
 machine's); their ``ts`` is the completion ordinal, not a cycle.
 ``run.progress`` is emitted by :class:`repro.obs.telemetry.Heartbeat`
 every N *executed events* — deterministic cadence, host-dependent
-measurements — and is the one kind whose data fields (events/s, RSS)
-are not reproducible across hosts.
+measurements.  ``shard.progress`` is emitted by the shard coordinator
+on a caller-supplied bus once per window — again a deterministic
+cadence (and deterministic ``bound``/``events``) with host-dependent
+events/s.  These two are the kinds whose data fields are not
+reproducible across hosts.
 
 Observability must not perturb the simulation: emission never schedules
 simulator events or sends messages, and every emission site is guarded
@@ -73,6 +80,7 @@ EVENT_KINDS = (
     "sweep.point",
     "sweep.done",
     "run.progress",
+    "shard.progress",
 )
 
 

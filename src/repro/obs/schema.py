@@ -18,7 +18,8 @@ any run without knowing which experiment produced it:
       "critpath": { ... optional critical-path attribution ... },
       "hotspots": { ... optional per-block contention ranking ... },
       "perf": {"wall_seconds": 0.18, "events_per_second": 1200000.0},
-      "profile": { ... optional host-time attribution ... }
+      "profile": { ... optional host-time attribution ... },
+      "shard": { ... optional sharded-run sync metrics ... }
     }
 
 ``results`` content per experiment is documented in
@@ -27,7 +28,11 @@ any run without knowing which experiment produced it:
 ``hotspots`` a :meth:`~repro.obs.hotspot.HotspotTracker.snapshot`, and
 ``profile`` a :meth:`~repro.obs.profile.ComponentProfiler.snapshot`
 (wall-clock attribution of the dispatch loop; host-dependent, so — like
-``perf`` — it never appears under ``results``).
+``perf`` — it never appears under ``results``), and ``shard`` the
+sharded-run sync-metrics section built by
+:func:`repro.harness.shardrun.run_shard` (window counts, lookahead
+utilization, per-shard busy/blocked wall, traffic matrix — also
+host-dependent).
 The envelope is validated (no external dependency) by
 :func:`validate_run_payload`; bump :data:`SCHEMA` if the envelope ever
 changes shape (adding optional keys is backward-compatible).
@@ -54,7 +59,7 @@ __all__ = [
 SCHEMA = "repro.run/1"
 
 _OPTIONAL_SECTIONS = ("metrics", "latency", "critpath", "hotspots", "perf",
-                      "profile")
+                      "profile", "shard")
 
 
 def make_run_payload(
@@ -67,6 +72,7 @@ def make_run_payload(
     hotspots: Mapping[str, Any] | None = None,
     perf: Mapping[str, Any] | None = None,
     profile: Mapping[str, Any] | None = None,
+    shard: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble one schema-stable run document.
 
@@ -87,7 +93,8 @@ def make_run_payload(
     }
     for key, value in (("metrics", metrics), ("latency", latency),
                        ("critpath", critpath), ("hotspots", hotspots),
-                       ("perf", perf), ("profile", profile)):
+                       ("perf", perf), ("profile", profile),
+                       ("shard", shard)):
         if value is not None:
             payload[key] = dict(value)
     return payload
@@ -184,6 +191,10 @@ def run_payload_to_jsonl(payload: Mapping[str, Any]) -> str:
     profile = document.get("profile")
     if profile is not None:
         lines.append(json.dumps({"record": "profile", **profile},
+                                sort_keys=True))
+    shard = document.get("shard")
+    if shard is not None:
+        lines.append(json.dumps({"record": "shard", **shard},
                                 sort_keys=True))
     for block in document.get("hotspots", {}).get("top", []):
         row = {"record": "hotspot"}

@@ -187,6 +187,7 @@ def test_cli_shard_envelopes_match_across_shards(tmp_path):
         assert code == 0
         doc = json.loads(out_path.read_text())
         doc.pop("perf")
+        doc.pop("shard")  # host-dependent sync metrics, like perf
         doc["params"].pop("shards")
         docs.append(doc)
     assert docs[0] == docs[1]

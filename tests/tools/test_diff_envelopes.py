@@ -47,7 +47,16 @@ def test_host_time_sections_are_always_stripped(tmp_path):
     c = envelope()
     c.pop("perf")
     c["profile"] = {"total_ns": 123}
+    c["shard"] = {"sync": {"wall_seconds": 9.0, "windows": 2023}}
     assert diff.main(write_all(tmp_path, a, b, c)) == 0
+
+
+def test_stitched_critpath_is_not_stripped(tmp_path, capsys):
+    """The cross-shard blame gate: critpath differences must fail."""
+    a = envelope(critpath={"txns": 8, "cycles": 640})
+    b = envelope(critpath={"txns": 8, "cycles": 641})
+    assert diff.main(write_all(tmp_path, a, b)) == 1
+    assert "critpath.cycles" in capsys.readouterr().out
 
 
 def test_simulation_divergence_fails_with_leaf_report(tmp_path, capsys):

@@ -3,9 +3,10 @@
 
 The CI determinism jobs re-run one experiment under different execution
 shapes — ``--shards 1/2/4``, ``--jobs 1/2`` — and demand bit-identical
-simulation output.  Host-time sections (``perf``, ``profile``) and the
-run-shape parameters themselves (``params.shards``) legitimately differ,
-so this tool strips them, canonicalizes what is left
+simulation output.  Host-time sections (``perf``, ``profile``,
+``shard``) and the run-shape parameters themselves (``params.shards``)
+legitimately differ, so this tool strips them, canonicalizes what is
+left
 (``json.dumps(sort_keys=True)``), and compares byte-for-byte::
 
     python tools/diff_envelopes.py --ignore params.shards \\
@@ -26,7 +27,10 @@ from typing import Any, Iterator, List
 
 #: Sections that describe the host/run, not the simulation.  Always
 #: stripped; the determinism guarantee is about simulation output.
-HOST_SECTIONS = ("perf", "profile")
+#: (``shard`` holds wall times and traffic shape; the shard-invariant
+#: stitched critical path lands in the top-level ``critpath`` section,
+#: which is *not* stripped — that is the cross-shard blame gate.)
+HOST_SECTIONS = ("perf", "profile", "shard")
 
 
 def load(path: pathlib.Path) -> dict:
