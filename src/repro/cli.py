@@ -85,6 +85,18 @@ nightly benchmark history: per-kernel wall/throughput deltas against
 the trailing median, with regression flags (``--strict`` turns flags
 into exit 1).
 
+``repro chaos`` sweeps a seeded fault-injection matrix (seeds ×
+intensity × policy; see :mod:`repro.faults` and ``docs/robustness.md``)
+through the parallel sweep engine and gates every point on the
+``repro.verify`` checkers, a cycle-budget termination watchdog, metric
+conservation, and final-value agreement with the fault-free golden.
+Verdicts land in the envelope's ``faults`` section; the envelope
+carries no host-dependent data, so ``repro chaos --seed S`` is
+byte-reproducible.  ``repro stats chaos`` / ``repro trace chaos``
+instrument one representative faulted run (the ``fault.inject`` events
+and ``faults.*`` counters).  ``repro shard`` exposes the self-healing
+knobs (``--retries``, ``--window-timeout``) of the process backend.
+
 Finally, ``repro report RUN.json [-o report.html]`` renders any
 ``repro.run/1`` document — from ``--json`` or a benchmark — into a
 single self-contained HTML file (inline SVG, no network access; see
@@ -101,6 +113,7 @@ import sys
 from typing import Any, Callable, Optional, Sequence
 
 from .config import SimConfig
+from .faults.chaos import CHAOS_WORKLOADS, DEFAULT_MAX_EVENTS, DEFAULT_POLICIES
 from .harness.ablation import (
     RESERVATION_STRATEGIES,
     run_dropcopy_ablation,
@@ -300,7 +313,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "the cross-shard critical path (lands in the "
                             "envelope's critpath section; identical at "
                             "any shard count)")
+    shard.add_argument("--retries", type=int, default=1,
+                       help="retries after a worker crash or hang; the "
+                            "run is deterministic, so a retried run is "
+                            "identical to an unperturbed one (default 1)")
+    shard.add_argument("--retry-backoff", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="base of the capped exponential retry "
+                            "backoff (default 0.25)")
+    shard.add_argument("--window-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock watchdog per coordinator window "
+                            "(process backend): overdue workers are "
+                            "classified hang vs crash via heartbeats "
+                            "and the run is retried (default off)")
     _add_common(shard, top_level=False)
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection verification: sweep seeds x intensity x "
+             "policy, gating every run on the verify checkers, a "
+             "termination watchdog, metric conservation, and agreement "
+             "with the fault-free golden",
+    )
+    chaos.add_argument("--seed", type=int, action="append", default=None,
+                       dest="seeds", metavar="S",
+                       help="fault/config seed (repeatable; default 1 2)")
+    chaos.add_argument("--intensity", type=float, action="append",
+                       default=None, dest="intensities", metavar="X",
+                       help="fault-plan scale factor (repeatable; the "
+                            "0.0 golden is always swept too; default 1.0)")
+    chaos.add_argument("--policy", action="append", default=None,
+                       dest="policies", choices=DEFAULT_POLICIES,
+                       help="coherence policy (repeatable; default all)")
+    chaos.add_argument("--workload", default="faa",
+                       choices=sorted(CHAOS_WORKLOADS),
+                       help="atomic-counter workload (default faa)")
+    chaos.add_argument("--max-events", type=int,
+                       default=DEFAULT_MAX_EVENTS,
+                       help="cycle-budget termination watchdog "
+                            f"(default {DEFAULT_MAX_EVENTS})")
+    chaos.add_argument("--retries", type=int, default=1,
+                       help="sweep-executor retries per crashed point "
+                            "before quarantining it (default 1)")
+    _add_common(chaos, top_level=False)
     trend = sub.add_parser(
         "trend",
         help="summarize a nightly BENCH_trend.jsonl history "
@@ -640,6 +695,9 @@ def _cmd_shard(args, out) -> int:
             obs=obs,
             telemetry=writer,
             events=bus if bus.active else None,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            window_timeout=args.window_timeout,
         )
         wall = time.perf_counter() - t0
     results = outcome.results
@@ -656,6 +714,9 @@ def _cmd_shard(args, out) -> int:
         f"windows: {info['windows']}  lookahead: {info['lookahead']}  "
         f"boundary messages: {info['boundary_messages']}",
     ]
+    if info.get("attempts", 1) > 1:
+        lines.append(f"recovered after {info['attempts']} attempt(s) "
+                     f"(worker crash/hang retried)")
     if wall > 0:
         lines.append(f"wall: {wall:.3f}s  ({events / wall:,.0f} events/s)")
     if sync:
@@ -701,6 +762,41 @@ def _cmd_shard(args, out) -> int:
         )
         dump_run(payload, args.json)
     return 0 if results["match"] else 1
+
+
+def _cmd_chaos(args, out) -> int:
+    from .faults.chaos import render_chaos, run_chaos
+    from .obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    payload = run_chaos(
+        args.seeds if args.seeds else [1, 2],
+        intensities=args.intensities if args.intensities else [1.0],
+        policies=(tuple(args.policies) if args.policies
+                  else DEFAULT_POLICIES),
+        workload=args.workload,
+        turns=args.turns,
+        nodes=args.nodes,
+        max_events=args.max_events,
+        retries=args.retries,
+        registry=registry,
+        **_sweep_opts(args),
+    )
+    text = render_chaos(payload)
+    out(text)
+    # Sweep-health counters (quarantined points, corrupt cache entries)
+    # are host/cache-state dependent, so they go to stderr — never into
+    # the byte-reproducible envelope.
+    health = registry.snapshot()
+    for name in ("sweep.quarantined", "sweep.cache.corrupt"):
+        if health.get(name):
+            print(f"chaos: {name} = {health[name]}", file=sys.stderr)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "chaos.txt").write_text(text + "\n")
+    if args.json is not None:
+        dump_run(payload, args.json)
+    return 0 if payload["results"]["ok"] else 1
 
 
 def _cmd_trend(args, out) -> int:
@@ -805,6 +901,7 @@ _COMMANDS: dict[str, Callable] = {
     "ablation-dropcopy": _cmd_ablation_dropcopy,
     "perf": _cmd_perf,
     "shard": _cmd_shard,
+    "chaos": _cmd_chaos,
     "trend": _cmd_trend,
     "profile": _cmd_profile,
     "stats": _cmd_stats,

@@ -89,6 +89,7 @@ class HomeNode:
         self._queued = registry.counter(f"home.{node}.queued")
         self._service = memory.service
         self._t_directory = memory.config.timing.directory_service
+        self.faults = getattr(machine, "faults", None)
         mesh.register(node, Unit.HOME, self.handle)
 
     # ------------------------------------------------------------------
@@ -102,6 +103,18 @@ class HomeNode:
         occupy the module for the shorter directory-service time.
         """
         self._requests.value += 1
+        faults = self.faults
+        if (faults is not None and msg.mtype in _REQUESTS
+                and faults.home_nak(self.node)):
+            # Transient busy-NAK: the home pretends to be occupied and
+            # retries the request after the penalty.  The replay goes
+            # straight to the memory queue (not back through handle),
+            # so each message is NAK'd at most once and the retry can
+            # never starve — termination is preserved by construction.
+            self.machine.sim.schedule(
+                faults.plan.home_nak_penalty, self._replay_nak, msg
+            )
+            return
         if msg.mtype is MessageType.DROP:
             self._service(self._process, msg, service_time=self._t_directory,
                           txn=msg.txn, block=msg.block, mtype="DROP",
@@ -110,6 +123,11 @@ class HomeNode:
             self._service(self._process, msg, txn=msg.txn,
                           block=msg.block, mtype=msg.mtype.value,
                           requester=msg.requester)
+
+    def _replay_nak(self, msg: Message) -> None:
+        """Re-queue a busy-NAK'd request at the memory module."""
+        self._service(self._process, msg, txn=msg.txn, block=msg.block,
+                      mtype=msg.mtype.value, requester=msg.requester)
 
     def _process(self, msg: Message) -> None:
         mtype = msg.mtype

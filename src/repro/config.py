@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .errors import ConfigError
+from .faults.plan import FaultPlan
 
 __all__ = [
     "TimingConfig",
@@ -168,6 +170,12 @@ class SimConfig:
             of retry loops.  Deterministic given the seed.
         seed: Seed for the deterministic per-processor RNGs used by
             backoff code in simulated programs.
+        faults: Optional :class:`repro.faults.plan.FaultPlan`.  ``None``
+            (default) or an all-zero plan builds no injector at all, so
+            the run is bit-identical to a fault-free machine; an active
+            plan perturbs delivery delay, DROP duplication, home
+            occupancy, reservations, and processor issue timing —
+            deterministically, from the plan's own seed.
     """
 
     machine: MachineConfig = field(default_factory=MachineConfig)
@@ -176,6 +184,7 @@ class SimConfig:
     reservation_limit: int = 4
     spurious_sc_rate: float = 0.0
     seed: int = 12345
+    faults: Optional[FaultPlan] = None
 
     _STRATEGIES = ("bitvector", "limited", "serial", "linkedlist")
 
@@ -192,6 +201,8 @@ class SimConfig:
             raise ConfigError("reservation_limit must be >= 1")
         if not 0.0 <= self.spurious_sc_rate < 1.0:
             raise ConfigError("spurious_sc_rate must be in [0, 1)")
+        if self.faults is not None:
+            self.faults.validate()
 
     def with_nodes(self, n_nodes: int) -> "SimConfig":
         """Return a copy of this config with a different node count."""

@@ -1,0 +1,15 @@
+"""Deterministic fault injection and chaos verification.
+
+:mod:`repro.faults.plan` holds the declarative :class:`FaultPlan` and
+the :class:`FaultInjector` the machine builds from it;
+:mod:`repro.faults.chaos` is the ``repro chaos`` sweep driver that runs
+workloads under seeded fault schedules and gates each one on the
+:mod:`repro.verify` checkers.  Only the plan layer is re-exported here —
+the chaos driver imports the machine and config stack, which imports
+this package, so it must be imported explicitly as
+``repro.faults.chaos``.
+"""
+
+from .plan import DEFAULT_CHAOS_PLAN, FaultInjector, FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector", "DEFAULT_CHAOS_PLAN"]

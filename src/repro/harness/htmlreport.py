@@ -32,6 +32,10 @@ disappearing):
    window counts and lookahead utilization, per-shard busy/blocked wall
    split, the cross-region traffic matrix, and stitch/telemetry
    summaries when ``--spans``/``--telemetry`` were on.
+7. **Chaos verification** — the seeded fault-injection matrix from the
+   ``faults`` envelope section (``repro chaos --json``): per-point
+   checker verdicts (history, termination, conservation, golden
+   agreement) and the injected-fault totals.
 
 Every chart carries a ``<details>`` data table, so the numbers are
 readable without the SVG (and by screen readers); colors come from a
@@ -686,6 +690,69 @@ def _panel_shard(payload: Mapping[str, Any]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Panel 7 — chaos verification
+# ----------------------------------------------------------------------
+
+def _panel_faults(payload: Mapping[str, Any]) -> str:
+    faults = payload.get("faults")
+    if not isinstance(faults, dict):
+        return ('<p class="empty">This envelope carries no chaos '
+                "verdicts (run <code>repro chaos --json</code> to sweep "
+                "a seeded fault matrix through the verify checkers; see "
+                "<code>docs/robustness.md</code>).</p>")
+    points = faults.get("points", 0)
+    passed = faults.get("passed", 0)
+    failed = faults.get("failed", 0)
+    verdict = ('<span class="ok">✓ all points passed</span>' if not failed
+               else f'<span class="miss">✗ {failed} point(s) failed</span>')
+    plan = faults.get("plan", {})
+    plan_desc = ", ".join(f"{key}={_fmt(value)}"
+                          for key, value in sorted(plan.items())
+                          if value)
+    note = (f'<p class="meta">{faults.get("workload")} workload × '
+            f'{faults.get("nodes")} nodes × {faults.get("turns")} turns · '
+            f'seeds {faults.get("seeds")} · '
+            f'intensities {faults.get("intensities")} · '
+            f'policies {faults.get("policies")} · '
+            f"{passed}/{points} passed {verdict}</p>"
+            f'<p class="meta">fault plan: <code>{_esc(plan_desc)}</code>'
+            "</p>")
+
+    fired: dict[str, int] = {}
+    rows = []
+    for point in faults.get("verdicts", []):
+        checks = point.get("checks", {})
+        complaints = ", ".join(f"{name}: {value}"
+                               for name, value in checks.items()
+                               if value != "ok") or "all ok"
+        mark = ('<span class="ok">✓</span>' if point.get("ok")
+                else '<span class="miss">✗</span>')
+        rows.append([
+            _esc(point.get("policy")), _esc(point.get("seed")),
+            _esc(point.get("intensity")),
+            _esc("–" if point.get("final") is None else point.get("final")),
+            _esc(point.get("expected", "–")),
+            _esc(point.get("end_time", "–")), mark, _esc(complaints),
+        ])
+        for name, value in point.get("faults", {}).items():
+            fired[name] = fired.get(name, 0) + value
+    table = _table(["policy", "seed", "intensity", "final", "expected",
+                    "end cycle", "ok", "checks"], rows, cells_html=True)
+
+    injected = ""
+    if fired:
+        bars = [(name.removeprefix("faults."), float(value))
+                for name, value in sorted(fired.items())
+                if not name.endswith("_cycles")]
+        injected = ("<h3>injected faults (matrix total)</h3>"
+                    + _bar_chart(bars, slot=5)
+                    + _data_table(["fault counter", "count"],
+                                  [[name, value] for name, value
+                                   in sorted(fired.items())]))
+    return note + table + injected
+
+
+# ----------------------------------------------------------------------
 # Assembly
 # ----------------------------------------------------------------------
 
@@ -711,6 +778,7 @@ def render_report(payload: Mapping[str, Any],
         ("Cache-line hotspots", _panel_hotspots(document)),
         ("Host-time profile", _panel_profile(document)),
         ("Sharded execution", _panel_shard(document)),
+        ("Chaos verification", _panel_faults(document)),
     ]
     sections = "".join(
         f'<section class="panel" id="panel-{i + 1}">'

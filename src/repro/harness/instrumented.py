@@ -222,8 +222,34 @@ def _run_dropcopy(config: SimConfig, turns: int,
             f"fetch_and_Φ counter with drop_copy, c={contention}")
 
 
+def _run_chaos(config: SimConfig, turns: int,
+               blocks: Optional[Iterable[int]]) -> tuple[Machine,
+                                                         Instruments, str]:
+    import dataclasses
+
+    from ..faults.chaos import run_chaos_point
+    from ..faults.plan import DEFAULT_CHAOS_PLAN
+
+    holder: dict = {}
+
+    def observe(machine: Machine) -> None:
+        holder["machine"] = machine
+        holder["instruments"] = _instrument(machine, blocks)
+
+    cfg = dataclasses.replace(
+        config,
+        faults=dataclasses.replace(DEFAULT_CHAOS_PLAN, seed=config.seed),
+    )
+    verdict = run_chaos_point(policy="INV", workload="faa", turns=turns,
+                              intensity=1.0, config=cfg, observe=observe)
+    status = "all checks ok" if verdict["ok"] else "CHECKS FAILED"
+    return (holder["machine"], holder["instruments"],
+            f"faulted faa/INV chaos point (fault seed {cfg.seed}), {status}")
+
+
 INSTRUMENTED_EXPERIMENTS = {
     "table1": _run_table1,
+    "chaos": _run_chaos,
     "figure2": _run_apps,
     "figure3": _counter_runner(run_lockfree_counter, "lock-free counter"),
     "figure4": _counter_runner(run_tts_counter, "TTS-lock counter"),

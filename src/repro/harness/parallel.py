@@ -59,12 +59,13 @@ import pathlib
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence, TextIO
 
 from ..apps.common import AppResult
 from ..config import SimConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, SimulationError, WorkerHangError
 from ..obs.events import EventBus
 from ..obs.registry import MetricsRegistry
 from ..obs.telemetry import telemetry_line
@@ -325,9 +326,13 @@ class ResultCache:
 
     Entries live at ``<root>/<key[:2]>/<key>.json`` in a small envelope
     (schema ``repro.cache/1``) holding the encoded result plus the
-    point's metrics snapshot.  Unreadable, corrupt, or mismatched
-    entries are treated as misses; writes are atomic (temp file +
-    rename) so concurrent workers cannot tear an entry.
+    point's metrics snapshot.  Unreadable entries are misses; *corrupt*
+    entries (unparsable JSON, wrong schema/key, missing payload) are
+    additionally quarantined — moved aside to ``<key>.json.corrupt``
+    and counted in :attr:`corrupt`, so recurring corruption is visible
+    in ``repro stats`` (``sweep.cache.corrupt``) instead of silently
+    re-simulating forever.  Writes are atomic (temp file + rename) so
+    concurrent workers cannot tear an entry.
     """
 
     def __init__(self, root: str | os.PathLike | None = None) -> None:
@@ -335,6 +340,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
@@ -344,8 +350,14 @@ class ResultCache:
         """The stored payload for ``key``, or None on a miss."""
         path = self.path_for(key)
         try:
-            document = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            document = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
             self.misses += 1
             return None
         if (
@@ -354,10 +366,19 @@ class ResultCache:
             or document.get("key") != key
             or "payload" not in document
         ):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return document["payload"]
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry aside so it is inspectable, not re-read."""
+        self.corrupt += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - raced or read-only cache
+            pass
 
     def put(self, key: str, payload: dict[str, Any],
             point: Optional[SweepPoint] = None) -> None:
@@ -444,7 +465,10 @@ class PointOutcome:
 
     ``telemetry`` holds the executing worker's host-side measurements
     (``wall_seconds``, ``events``, ``events_per_second``); empty for
-    cache hits, which did no simulation on this host.
+    cache hits, which did no simulation on this host.  ``error`` is set
+    (and ``result`` is None) for a point quarantined after exhausting
+    its retries; ``attempts`` counts executions including the
+    successful one.
     """
 
     point: SweepPoint
@@ -453,6 +477,13 @@ class PointOutcome:
     cached: bool
     key: str
     telemetry: dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    attempts: int = 1
+
+
+#: Retry backoff sleeps are capped so a deep retry budget cannot stall
+#: a sweep for minutes between attempts.
+_BACKOFF_CAP = 30.0
 
 
 class SweepExecutor:
@@ -462,6 +493,16 @@ class SweepExecutor:
     per-point metrics snapshots are merged (input order, so the merged
     registry is deterministic) into :attr:`registry`, and progress is
     emitted on :attr:`events`.
+
+    Failure handling (``docs/robustness.md``): a point whose execution
+    raises (or whose worker process dies) is retried up to ``retries``
+    times with capped exponential backoff.  A point still running after
+    ``point_timeout`` seconds is classified as hung; its pool is killed
+    and the point fails immediately — a deterministic hang would only
+    hang again, so timeouts are never retried.  With
+    ``quarantine=True`` an exhausted point becomes a
+    :class:`PointOutcome` with ``error`` set instead of aborting the
+    sweep, so one poisoned point cannot sink a thousand-point run.
     """
 
     def __init__(
@@ -470,6 +511,10 @@ class SweepExecutor:
         cache: ResultCache | str | os.PathLike | None = None,
         events: Optional[EventBus] = None,
         registry: Optional[MetricsRegistry] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.25,
+        point_timeout: Optional[float] = None,
+        quarantine: bool = False,
     ) -> None:
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache)
@@ -477,6 +522,10 @@ class SweepExecutor:
         self.cache = cache
         self.events = events if events is not None else EventBus()
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.retries = max(0, int(retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        self.point_timeout = point_timeout
+        self.quarantine = quarantine
 
     def run(
         self,
@@ -504,28 +553,10 @@ class SweepExecutor:
             else:
                 pending.append(i)
         if pending and self.jobs > 1 and len(pending) > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_point, plan[i]): i for i in pending
-                }
-                remaining = set(futures)
-                while remaining:
-                    finished, remaining = wait(
-                        remaining, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        i = futures[future]
-                        outcomes[i] = self._store(
-                            plan[i], keys[i], future.result()
-                        )
-                        done += 1
-                        self._emit_point(outcomes[i], i, done, total)
+            done = self._run_pool(plan, keys, pending, outcomes, done, total)
         else:
             for i in pending:
-                outcomes[i] = self._store(
-                    plan[i], keys[i], execute_point(plan[i])
-                )
+                outcomes[i] = self._execute_with_retry(plan[i], keys[i])
                 done += 1
                 self._emit_point(outcomes[i], i, done, total)
         resolved = [o for o in outcomes if o is not None]
@@ -540,6 +571,190 @@ class SweepExecutor:
         return resolved
 
     # ------------------------------------------------------------------
+    # Failure handling.
+    # ------------------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep before retry number ``attempt`` (capped exponential)."""
+        delay = min(self.retry_backoff * (2 ** (attempt - 1)), _BACKOFF_CAP)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _failed(
+        self, point: SweepPoint, key: str, exc: BaseException, attempts: int,
+    ) -> PointOutcome:
+        """Quarantine an exhausted point, or abort the sweep."""
+        error = f"{type(exc).__name__}: {exc}"
+        if not self.quarantine:
+            raise SimulationError(
+                f"sweep point {point.label!r} failed after {attempts} "
+                f"attempt(s): {error}"
+            ) from exc
+        return PointOutcome(
+            point=point, result=None, metrics={}, cached=False, key=key,
+            error=error, attempts=attempts,
+        )
+
+    def _execute_with_retry(self, point: SweepPoint, key: str) -> PointOutcome:
+        attempt = 1
+        while True:
+            try:
+                payload = execute_point(point)
+            except Exception as exc:
+                if attempt <= self.retries:
+                    self._backoff(attempt)
+                    attempt += 1
+                    continue
+                return self._failed(point, key, exc, attempt)
+            return self._store(point, key, payload, attempts=attempt)
+
+    def _run_pool(
+        self,
+        plan: Sequence[SweepPoint],
+        keys: Sequence[str],
+        pending: Sequence[int],
+        outcomes: list,
+        done: int,
+        total: int,
+    ) -> int:
+        """Drain ``pending`` through a process pool; returns new ``done``.
+
+        The pool runs futures in submission order, so the oldest
+        ``workers`` unfinished futures are the ones (approximately) on
+        a core; only those are on the ``point_timeout`` clock.  A hung
+        or crashed worker poisons its ``ProcessPoolExecutor``, which
+        cannot cancel running futures — both paths therefore kill the
+        pool outright, rebuild it, and resubmit the innocent unfinished
+        points.
+        """
+        workers = min(self.jobs, len(pending))
+        attempts = {i: 1 for i in pending}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures: dict[Any, int] = {}
+        order: list[Any] = []
+        deadlines: dict[Any, float] = {}
+
+        def submit(index: int) -> None:
+            future = pool.submit(execute_point, plan[index])
+            futures[future] = index
+            order.append(future)
+
+        def kill_pool() -> None:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.kill()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        def resolve_failure(index: int, exc: BaseException) -> None:
+            nonlocal done
+            outcomes[index] = self._failed(
+                plan[index], keys[index], exc, attempts[index]
+            )
+            done += 1
+            self._emit_point(outcomes[index], index, done, total)
+
+        try:
+            for i in pending:
+                submit(i)
+            while futures:
+                live = [f for f in order if f in futures]
+                running = live[:workers]
+                timeout = None
+                if self.point_timeout is not None:
+                    now = time.monotonic()
+                    for future in running:
+                        deadlines.setdefault(future, now + self.point_timeout)
+                    timeout = max(
+                        0.0, min(deadlines[f] for f in running) - now
+                    )
+                finished, _ = wait(
+                    set(futures), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not finished:
+                    now = time.monotonic()
+                    overdue = [f for f in running
+                               if deadlines.get(f, now + 1.0) <= now]
+                    if not overdue:
+                        continue
+                    # Hung workers: fail their points (a deterministic
+                    # hang would hang every retry), kill the poisoned
+                    # pool, and resubmit the innocent unfinished points.
+                    for future in overdue:
+                        index = futures.pop(future)
+                        deadlines.pop(future, None)
+                        resolve_failure(index, WorkerHangError(
+                            f"sweep point {plan[index].label!r} still "
+                            f"running after {self.point_timeout}s"
+                        ))
+                    survivors = sorted(futures.values())
+                    futures.clear()
+                    order.clear()
+                    deadlines.clear()
+                    kill_pool()
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    for index in survivors:
+                        submit(index)
+                    continue
+                broken: Optional[BaseException] = None
+                for future in finished:
+                    index = futures.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool as exc:
+                        # The dying worker poisons every in-flight
+                        # future; finish collecting any real results
+                        # from this round, then handle the rest below.
+                        futures[future] = index
+                        broken = exc
+                        continue
+                    except Exception as exc:
+                        if attempts[index] <= self.retries:
+                            attempts[index] += 1
+                            self._backoff(attempts[index] - 1)
+                            submit(index)
+                        else:
+                            resolve_failure(index, exc)
+                        continue
+                    outcomes[index] = self._store(
+                        plan[index], keys[index], payload,
+                        attempts=attempts[index],
+                    )
+                    done += 1
+                    self._emit_point(outcomes[index], index, done, total)
+                if broken is not None:
+                    # Which point killed the worker is unknowable from
+                    # here, so the crash round counts against every
+                    # in-flight point; retries bound the total rounds.
+                    crashed = sorted(futures.values())
+                    futures.clear()
+                    order.clear()
+                    deadlines.clear()
+                    kill_pool()
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    retry: list[int] = []
+                    for index in crashed:
+                        if attempts[index] <= self.retries:
+                            attempts[index] += 1
+                            retry.append(index)
+                        else:
+                            resolve_failure(index, broken)
+                    if retry:
+                        self._backoff(max(attempts[i] for i in retry) - 1)
+                        for index in retry:
+                            submit(index)
+        finally:
+            if futures:
+                # Abnormal exit: never block on stuck or dead workers.
+                kill_pool()
+            else:
+                pool.shutdown()
+        return done
+
+    # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
 
@@ -549,6 +764,7 @@ class SweepExecutor:
         key: str,
         payload: dict[str, Any],
         cached: bool,
+        attempts: int = 1,
     ) -> PointOutcome:
         return PointOutcome(
             point=point,
@@ -557,10 +773,12 @@ class SweepExecutor:
             cached=cached,
             key=key,
             telemetry=payload.get("telemetry", {}),
+            attempts=attempts,
         )
 
     def _store(
-        self, point: SweepPoint, key: str, payload: dict[str, Any]
+        self, point: SweepPoint, key: str, payload: dict[str, Any],
+        attempts: int = 1,
     ) -> PointOutcome:
         if self.cache is not None:
             # Cache entries are content-addressed simulation outputs;
@@ -570,11 +788,17 @@ class SweepExecutor:
                 {k: v for k, v in payload.items() if k != "telemetry"},
                 point,
             )
-        return self._outcome(point, key, payload, cached=False)
+        return self._outcome(point, key, payload, cached=False,
+                             attempts=attempts)
 
     def _emit_point(
         self, outcome: PointOutcome, index: int, done: int, total: int
     ) -> None:
+        extra: dict[str, Any] = dict(outcome.telemetry)
+        if outcome.error is not None:
+            extra["error"] = outcome.error
+        if outcome.attempts > 1:
+            extra["attempts"] = outcome.attempts
         self.events.emit(
             "sweep.point",
             ts=done,
@@ -583,16 +807,21 @@ class SweepExecutor:
             label=outcome.point.label,
             cached=outcome.cached,
             key=outcome.key,
-            **outcome.telemetry,
+            **extra,
         )
 
     def _merge(self, outcomes: Sequence[PointOutcome]) -> None:
         sweep = self.registry
         sweep.counter("sweep.points").inc(len(outcomes))
         for outcome in outcomes:
+            if outcome.error is not None:
+                sweep.counter("sweep.quarantined").inc()
+                continue
             name = "sweep.cache.hits" if outcome.cached else "sweep.executed"
             sweep.counter(name).inc()
             sweep.merge_snapshot(outcome.metrics)
+        if self.cache is not None and self.cache.corrupt:
+            sweep.counter("sweep.cache.corrupt").value = self.cache.corrupt
 
 
 def run_sweep(
@@ -602,10 +831,16 @@ def run_sweep(
     events: Optional[EventBus] = None,
     registry: Optional[MetricsRegistry] = None,
     reseed: bool = False,
+    retries: int = 0,
+    retry_backoff: float = 0.25,
+    point_timeout: Optional[float] = None,
+    quarantine: bool = False,
 ) -> list[PointOutcome]:
     """Convenience wrapper: build a :class:`SweepExecutor` and run it."""
     executor = SweepExecutor(
-        jobs=jobs, cache=cache, events=events, registry=registry
+        jobs=jobs, cache=cache, events=events, registry=registry,
+        retries=retries, retry_backoff=retry_backoff,
+        point_timeout=point_timeout, quarantine=quarantine,
     )
     return executor.run(points, reseed=reseed)
 
@@ -632,7 +867,9 @@ def attach_progress_printer(
 
     def on_event(event) -> None:
         if event.kind == "sweep.point":
-            if event.data.get("cached"):
+            if event.data.get("error"):
+                suffix = f" (FAILED: {event.data['error']})"
+            elif event.data.get("cached"):
                 suffix = " (cached)"
             else:
                 eps = event.data.get("events_per_second")

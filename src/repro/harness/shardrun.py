@@ -44,13 +44,20 @@ bit-identical to an unobserved run.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import traceback
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Any, Optional
 
 from ..config import SimConfig
-from ..errors import ConfigError, DeadlockError, SimulationError
+from ..errors import (
+    ConfigError,
+    DeadlockError,
+    SimulationError,
+    WorkerCrashError,
+    WorkerHangError,
+)
 from ..machine.machine import build_machine
 from ..network.partition import RegionPlan, make_plan
 from ..obs.profile import ComponentProfiler, profiled
@@ -69,6 +76,18 @@ __all__ = ["ShardOutcome", "run_shard"]
 #: Window width used when there is a single region: no cross traffic
 #: exists, so any width is safe and bigger windows mean fewer rounds.
 _SOLO_WINDOW = 1 << 20
+
+#: Worker heartbeat period (seconds) when a window watchdog is armed.
+#: Beats classify an overdue worker as hung-but-alive vs crashed; they
+#: never extend the deadline (a live heartbeat thread says nothing
+#: about the simulation loop making progress).
+_HEARTBEAT_PERIOD = 0.5
+
+#: Poll granularity of the watchdog receive loop, seconds.
+_POLL_STEP = 0.05
+
+#: Cap on the exponential retry backoff, seconds.
+_BACKOFF_CAP = 30.0
 
 
 @dataclass
@@ -195,7 +214,10 @@ class _ShardWorker:
 class _InlineBackend:
     """All regions stepped in this process (no IPC, no pickling)."""
 
-    def __init__(self, config, plan, workload, turns, log_arrivals, obs):
+    def __init__(self, config, plan, workload, turns, log_arrivals, obs,
+                 window_timeout=None):
+        # window_timeout is accepted for signature parity with the
+        # process backend; an inline run cannot hang asynchronously.
         self.workers = [
             _ShardWorker(config, plan.regions, i, workload, turns,
                          log_arrivals, obs)
@@ -218,89 +240,219 @@ class _InlineBackend:
         pass
 
 
+#: Parent-side pipe ends created so far, so each forked worker can close
+#: the ones it inherited: a leaked duplicate would keep a sibling's pipe
+#: open and turn the coordinator's ``conn.close()`` EOF signal (prompt
+#: worker exit, fast ``close()``) into a 5s join timeout per worker.
+_PARENT_CONNS: list[Any] = []
+
+
 def _worker_main(conn, config, regions, index, workload, turns,
-                 log_arrivals, obs) -> None:
-    """Pipe-served region worker (child process entry point)."""
+                 log_arrivals, obs, heartbeat: float = 0.0) -> None:
+    """Pipe-served region worker (child process entry point).
+
+    When ``heartbeat`` is positive a daemon thread sends ``("beat", t)``
+    records every ``heartbeat`` seconds so the coordinator's window
+    watchdog can tell a hung-but-alive worker from a dead one.  All pipe
+    writes are serialized through one lock — a beat must never interleave
+    bytes with a reply.
+    """
+    for inherited in _PARENT_CONNS:
+        try:
+            inherited.close()
+        except OSError:  # pragma: no cover
+            pass
+    _PARENT_CONNS.clear()
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(item) -> None:
+        with lock:
+            conn.send(item)
+
+    if heartbeat > 0:
+        def _beat() -> None:
+            while not stop.wait(heartbeat):
+                try:
+                    send(("beat", monotonic()))
+                except OSError:  # pragma: no cover - parent gone
+                    return
+
+        threading.Thread(target=_beat, daemon=True).start()
     try:
         worker = _ShardWorker(config, regions, index, workload, turns,
                               log_arrivals, obs)
-        conn.send(("ready", worker.next_time()))
+        send(("ready", worker.next_time()))
         while True:
             request = conn.recv()
             if request[0] == "step":
-                conn.send(("stepped", worker.step(request[1], request[2])))
+                send(("stepped", worker.step(request[1], request[2])))
             elif request[0] == "finish":
-                conn.send(("finished", worker.finish()))
+                send(("finished", worker.finish()))
                 return
             else:  # pragma: no cover - protocol misuse
                 raise SimulationError(f"unknown request {request[0]!r}")
     except Exception as exc:
         try:
-            conn.send(("error",
-                       f"{type(exc).__name__}: {exc}\n"
-                       f"{traceback.format_exc()}"))
+            send(("error",
+                  f"{type(exc).__name__}: {exc}\n"
+                  f"{traceback.format_exc()}"))
         except OSError:  # pragma: no cover - parent already gone
             pass
     finally:
-        conn.close()
+        stop.set()
+        with lock:
+            conn.close()
 
 
 class _ProcessBackend:
-    """One forked process per region, star-connected by pipes."""
+    """One forked process per region, star-connected by pipes.
 
-    def __init__(self, config, plan, workload, turns, log_arrivals, obs):
+    With ``window_timeout`` set, every reply wait runs under a
+    wall-clock watchdog: the workers heartbeat every
+    :data:`_HEARTBEAT_PERIOD` seconds, and an overdue reply is
+    classified as :class:`~repro.errors.WorkerHangError` (process alive
+    — heartbeats only prove liveness, they never extend the deadline)
+    or :class:`~repro.errors.WorkerCrashError` (process dead / pipe
+    EOF).  Both are retryable by :func:`run_shard`.
+    """
+
+    def __init__(self, config, plan, workload, turns, log_arrivals, obs,
+                 window_timeout=None):
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
+        self.window_timeout = window_timeout
+        heartbeat = _HEARTBEAT_PERIOD if window_timeout is not None else 0.0
         self.conns = []
         self.procs = []
-        for i in range(plan.n_shards):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child, config, plan.regions, i, workload, turns,
-                      log_arrivals, obs),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self.conns.append(parent)
-            self.procs.append(proc)
+        try:
+            for i in range(plan.n_shards):
+                parent, child = ctx.Pipe()
+                # Registered before the fork so the child (which clones
+                # this module's globals) can close the inherited ends.
+                _PARENT_CONNS.append(parent)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child, config, plan.regions, i, workload, turns,
+                          log_arrivals, obs, heartbeat),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self.conns.append(parent)
+                self.procs.append(proc)
+        finally:
+            _PARENT_CONNS.clear()
 
-    def _recv(self, conn, want: str):
-        kind, payload = conn.recv()
-        if kind == "error":
+    def _cleanup_for(self, exc: SimulationError) -> None:
+        """Tear the pool down without masking the failure being raised.
+
+        The run is being aborted, so surviving workers are terminated
+        up front rather than waiting out ``close()``'s graceful join —
+        a hung sibling would otherwise stall every retry by 5s.
+        """
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+        try:
             self.close()
-            raise SimulationError(f"shard worker failed:\n{payload}")
-        if kind != want:  # pragma: no cover - protocol misuse
-            self.close()
-            raise SimulationError(f"expected {want!r}, got {kind!r}")
-        return payload
+        except SimulationError:  # pragma: no cover - unkillable leftover
+            pass
+        raise exc
+
+    def _crashed(self, index: int) -> None:
+        proc = self.procs[index]
+        proc.join(timeout=1)
+        self._cleanup_for(WorkerCrashError(
+            f"shard worker {index} (pid {proc.pid}) died mid-window "
+            f"(exitcode {proc.exitcode})"
+        ))
+
+    def _hung(self, index: int, last_beat: Optional[float]) -> None:
+        age = (f"{monotonic() - last_beat:.1f}s ago"
+               if last_beat is not None else "never seen")
+        self._cleanup_for(WorkerHangError(
+            f"shard worker {index} (pid {self.procs[index].pid}) exceeded "
+            f"the {self.window_timeout}s window watchdog while alive "
+            f"(last heartbeat: {age})"
+        ))
+
+    def _recv(self, index: int, want: str):
+        conn = self.conns[index]
+        timeout = self.window_timeout
+        deadline = None if timeout is None else monotonic() + timeout
+        last_beat: Optional[float] = None
+        while True:
+            try:
+                if deadline is not None:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        if not self.procs[index].is_alive():
+                            self._crashed(index)
+                        self._hung(index, last_beat)
+                    if not conn.poll(min(remaining, _POLL_STEP)):
+                        continue
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                self._crashed(index)
+            if kind == "beat":
+                last_beat = payload
+                continue
+            if kind == "error":
+                self._cleanup_for(
+                    SimulationError(f"shard worker failed:\n{payload}")
+                )
+            if kind != want:  # pragma: no cover - protocol misuse
+                self._cleanup_for(
+                    SimulationError(f"expected {want!r}, got {kind!r}")
+                )
+            return payload
 
     def start(self) -> list[Optional[int]]:
-        return [self._recv(conn, "ready") for conn in self.conns]
+        return [self._recv(i, "ready") for i in range(len(self.conns))]
 
     def step_all(self, until, inboxes):
         for conn, inbox in zip(self.conns, inboxes):
             conn.send(("step", until, inbox))
-        return [self._recv(conn, "stepped") for conn in self.conns]
+        return [self._recv(i, "stepped") for i in range(len(self.conns))]
 
     def finish_all(self) -> list[dict[str, Any]]:
         for conn in self.conns:
             conn.send(("finish",))
-        return [self._recv(conn, "finished") for conn in self.conns]
+        return [self._recv(i, "finished") for i in range(len(self.conns))]
 
     def close(self) -> None:
-        for conn in self.conns:
+        """Tear down workers, escalating join -> terminate -> kill.
+
+        Idempotent.  A worker that survives ``kill()`` (unkillable — for
+        example stuck in the kernel) is surfaced as
+        :class:`~repro.errors.SimulationError` listing the leaked pids
+        instead of being silently abandoned.
+        """
+        conns, self.conns = self.conns, []
+        procs, self.procs = self.procs, []
+        for conn in conns:
             try:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
-        for proc in self.procs:
+        leaked = []
+        for proc in procs:
             proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - hung worker
+            if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - terminate ignored
+                proc.kill()
+                proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - unkillable
+                leaked.append(proc.pid)
+        if leaked:  # pragma: no cover - unkillable workers
+            raise SimulationError(
+                f"shard worker process(es) leaked after kill: pids {leaked}"
+            )
 
 
 _BACKENDS = {"inline": _InlineBackend, "process": _ProcessBackend}
@@ -323,6 +475,9 @@ def run_shard(
     obs: Optional[ShardObsOptions] = None,
     telemetry: Optional[Any] = None,
     events: Optional[Any] = None,
+    retries: int = 1,
+    retry_backoff: float = 0.25,
+    window_timeout: Optional[float] = None,
 ) -> ShardOutcome:
     """Run ``workload`` on a machine split into ``shards`` regions.
 
@@ -346,6 +501,18 @@ def run_shard(
     optional coordinator-side :class:`~repro.obs.events.EventBus` for
     the same per-window progress.  All three default to off, leaving
     the workers unobserved.
+
+    Self-healing (``process`` backend; see ``docs/robustness.md``):
+    ``window_timeout`` arms a per-reply wall-clock watchdog backed by a
+    worker heartbeat that classifies an overdue window as
+    :class:`~repro.errors.WorkerHangError` (alive but stuck) or
+    :class:`~repro.errors.WorkerCrashError` (process died / pipe EOF).
+    Because the simulation is deterministic, either failure is safely
+    retried from scratch up to ``retries`` times with capped exponential
+    backoff (``retry_backoff * 2**(attempt-1)``, capped at
+    :data:`_BACKOFF_CAP` seconds), emitting a ``shard.retry`` event per
+    attempt; a retried run produces the same :class:`ShardOutcome` as an
+    unperturbed one, except for ``info["attempts"]``.
     """
     if backend not in _BACKENDS:
         known = ", ".join(sorted(_BACKENDS))
@@ -357,6 +524,46 @@ def run_shard(
     get_workload(workload)  # fail fast on unknown names
     if obs is not None and not obs.enabled:
         obs = None
+
+    retries = max(0, int(retries))
+    attempt = 1
+    while True:
+        try:
+            outcome = _run_shard_once(
+                config, workload, turns, backend, plan, log_arrivals,
+                window, obs, telemetry, events, window_timeout,
+            )
+        except (WorkerCrashError, WorkerHangError) as exc:
+            if attempt > retries:
+                raise
+            reason = f"{type(exc).__name__}: {exc}"
+            if events is not None and getattr(events, "active", False):
+                events.emit("shard.retry", 0, attempt=attempt,
+                            reason=reason)
+            if telemetry is not None:
+                telemetry.write({"record": "shard.retry",
+                                 "attempt": attempt, "reason": reason})
+            sleep(min(retry_backoff * 2 ** (attempt - 1), _BACKOFF_CAP))
+            attempt += 1
+            continue
+        outcome.info["attempts"] = attempt
+        return outcome
+
+
+def _run_shard_once(
+    config: SimConfig,
+    workload: str,
+    turns: int,
+    backend: str,
+    plan: RegionPlan,
+    log_arrivals: bool,
+    window: int | None,
+    obs: Optional[ShardObsOptions],
+    telemetry: Optional[Any],
+    events: Optional[Any],
+    window_timeout: Optional[float],
+) -> ShardOutcome:
+    """One attempt of the coordinator loop (see :func:`run_shard`)."""
     membership = plan.membership()
     n_shards = plan.n_shards
     width = plan.lookahead if n_shards > 1 else _SOLO_WINDOW
@@ -364,7 +571,8 @@ def run_shard(
         width = window
 
     runner = _BACKENDS[backend](config, plan, workload, turns,
-                                log_arrivals, obs)
+                                log_arrivals, obs,
+                                window_timeout=window_timeout)
     windows = 0
     boundary_messages = 0
     traffic = [[0] * n_shards for _ in range(n_shards)]

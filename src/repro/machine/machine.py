@@ -29,6 +29,7 @@ from ..coherence.home import HomeNode
 from ..coherence.policy import SyncPolicy
 from ..config import SimConfig
 from ..errors import AddressError, DeadlockError
+from ..faults.plan import FaultInjector
 from ..memory.directory import Directory, DirState
 from ..memory.module import MemoryModule
 from ..memory.reservations import make_reservation_table
@@ -80,6 +81,17 @@ class Machine:
         self.registry = MetricsRegistry()
         self.events = EventBus()
         self.sim = Simulator(registry=self.registry)
+        # Fault-injection plane (docs/robustness.md).  Only an *active*
+        # plan builds an injector; otherwise every site keeps its
+        # ``faults is None`` fast path and the machine is structurally
+        # identical to a fault-free one.
+        if config.faults is not None and config.faults.active:
+            self.faults: Optional[FaultInjector] = FaultInjector(
+                config.faults, registry=self.registry, events=self.events,
+                sim=self.sim,
+            )
+        else:
+            self.faults = None
         if self.region is None:
             self.mesh: WormholeMesh = WormholeMesh(
                 self.sim, config, registry=self.registry, events=self.events
@@ -89,6 +101,7 @@ class Machine:
                 self.sim, config, self.region, registry=self.registry,
                 events=self.events,
             )
+        self.mesh.faults = self.faults
         self.address = AddressSpace(config.machine)
         self.stats = MachineStats()
         self.stats.attach_registry(self.registry)
@@ -106,6 +119,8 @@ class Machine:
             reservations = make_reservation_table(
                 config.reservation_strategy, n, config.reservation_limit
             )
+            reservations.faults = self.faults
+            reservations.fault_node = i
             controller = CacheController(i, self.mesh, config, self)
             home = HomeNode(i, self.mesh, memory, directory, reservations, self)
             # Processor needs nodes[i].controller; create after assigning.

@@ -59,6 +59,12 @@ class LLGrant:
 class ReservationTable:
     """Interface for per-block LL/SC reservation bookkeeping at a memory."""
 
+    # Fault-injection plane: the machine installs its injector plus the
+    # table's home-node index on each instance (docs/robustness.md).
+    # The class defaults keep bare tables (tests, tools) fault-free.
+    faults = None
+    fault_node = 0
+
     def load_linked(self, pid: int, block: int) -> LLGrant:
         """Record a reservation for ``pid`` on ``block``."""
         raise NotImplementedError
@@ -73,6 +79,13 @@ class ReservationTable:
         Called for a store_conditional arriving at the memory.  On success
         every other processor's reservation dies with the write.
         """
+        faults = self.faults
+        if faults is not None and faults.res_kill(self.fault_node):
+            # Spurious reservation loss (paper §2.1: context switches,
+            # TLB exceptions): everything reserved on the block dies
+            # just before the check, so this store_conditional fails
+            # and its retry loop must recover.
+            self.write(block)
         if not self.check(pid, block, token):
             return False
         self.write(block)

@@ -158,6 +158,9 @@ class WormholeMesh:
         self.events = events if events is not None else EventBus()
         # Legacy single-slot observer(msg, send_time, deliver_time) hook.
         self.observer: Callable[[Message, int, int], None] | None = None
+        # Fault-injection plane; the machine installs its injector here.
+        # None keeps the fault-free fast path (docs/robustness.md).
+        self.faults = None
         # Hot-path caches: flit sizes per message type, timing constants,
         # the topology's distance rows, and the raw registry counters
         # (bypassing the NetworkStats property shims).  All are pure
@@ -254,8 +257,14 @@ class WormholeMesh:
             ready = exit_free[dst]
             if ready < tail_arrival:
                 ready = tail_arrival
-            exit_free[dst] = ready + serialize
             done = ready + serialize
+            faults = self.faults
+            if faults is not None:
+                # Injected congestion: hold the exit port past this
+                # message's drain.  Extending exit_free keeps the port
+                # FIFO, so no same-destination reorder is possible.
+                done += faults.net_delay(dst)
+            exit_free[dst] = done
             latency = done - now
             self._c_messages.value += 1
             self._c_flits.value += flits
@@ -276,3 +285,13 @@ class WormholeMesh:
         if self.observer is not None or self.events.active:
             self._observe(msg, now, done)
         sim.schedule(done - now, handler, msg)
+        if (self.faults is not None and src != dst
+                and mtype is MessageType.DROP
+                and self.faults.net_dup(src)):
+            # Duplicate delivery of the idempotent drop notice: a fresh
+            # message one serialize slot behind the original, so it can
+            # never overtake a later request from the same source.
+            self.send(Message.acquire(
+                mtype, src, dst, msg.unit, msg.block,
+                chain=msg.chain, requester=msg.requester,
+            ))

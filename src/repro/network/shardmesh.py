@@ -168,6 +168,12 @@ class ShardedWormholeMesh(WormholeMesh):
         self._c_flits.value += flits
         self._bump_type(mtype)
 
+        # Captured before the outbox branch may release the message.
+        unit = msg.unit
+        block = msg.block
+        chain = msg.chain
+        requester = msg.requester
+
         if self._mine[dst]:
             heappush(self._arrivals[dst],
                      (tail_arrival, now, src, src_seq, msg))
@@ -175,11 +181,21 @@ class ShardedWormholeMesh(WormholeMesh):
         else:
             self._outbox.append((
                 tail_arrival, now, src, src_seq, dst, mtype.name,
-                msg.unit.name, msg.block, msg.chain, msg.requester,
+                unit.name, block, chain, requester,
                 msg.payload, msg.txn is not None,
             ))
             msg.payload = None  # the outbox tuple owns it now
             Message.release(msg)
+
+        if (self.faults is not None and mtype is MessageType.DROP
+                and self.faults.net_dup(src)):
+            # Same duplicate-drop fault as the serial mesh: drawn at the
+            # source in the source's own send order, so the decision is
+            # invariant under sharding even when dst is another region.
+            self.send(Message.acquire(
+                mtype, src, dst, unit, block,
+                chain=chain, requester=requester,
+            ))
 
     def _bump_type(self, mtype: MessageType) -> None:
         counter = self._type_counters.get(mtype)
@@ -208,14 +224,21 @@ class ShardedWormholeMesh(WormholeMesh):
         span_log = self.span_log
         handlers = self._unit_handlers
         schedule_priority = self.sim.schedule_priority
+        faults = self.faults
         while arrivals and arrivals[0][0] == now:
             tail_arrival, send_time, src, src_seq, msg = heappop(arrivals)
             serialize = self._flits_by_type[msg.mtype] * self._flit_cycles
             ready = exit_free[dst]
             if ready < tail_arrival:
                 ready = tail_arrival
-            exit_free[dst] = ready + serialize
             done = ready + serialize
+            if faults is not None:
+                # Injected congestion, drawn per destination in
+                # canonical arbitration order — the same sequence at
+                # any shard count, and FIFO-preserving like the serial
+                # mesh (exit_free extends past the delayed drain).
+                done += faults.net_delay(dst)
+            exit_free[dst] = done
             latency = done - send_time
             self._c_latency.value += latency
             self._latency_hist.observe(latency)

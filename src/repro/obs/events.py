@@ -34,6 +34,12 @@ kind                        meaning
                             sharded run: global time bound, per-shard
                             event counts and events/s (see
                             :func:`repro.harness.shardrun.run_shard`)
+``fault.inject``            one injected fault fired (site, node, and
+                            site-specific fields; see
+                            :mod:`repro.faults.plan`)
+``shard.retry``             a sharded run's worker crashed or hung and
+                            the whole (deterministic) run is being
+                            retried (attempt number, reason)
 ==========================  ===========================================
 
 The ``sweep.*`` kinds are emitted by
@@ -81,6 +87,8 @@ EVENT_KINDS = (
     "sweep.done",
     "run.progress",
     "shard.progress",
+    "fault.inject",
+    "shard.retry",
 )
 
 

@@ -19,7 +19,8 @@ any run without knowing which experiment produced it:
       "hotspots": { ... optional per-block contention ranking ... },
       "perf": {"wall_seconds": 0.18, "events_per_second": 1200000.0},
       "profile": { ... optional host-time attribution ... },
-      "shard": { ... optional sharded-run sync metrics ... }
+      "shard": { ... optional sharded-run sync metrics ... },
+      "faults": { ... optional chaos-verification verdicts ... }
     }
 
 ``results`` content per experiment is documented in
@@ -32,7 +33,10 @@ any run without knowing which experiment produced it:
 sharded-run sync-metrics section built by
 :func:`repro.harness.shardrun.run_shard` (window counts, lookahead
 utilization, per-shard busy/blocked wall, traffic matrix — also
-host-dependent).
+host-dependent).  ``faults`` is the chaos-verification section built by
+:func:`repro.faults.chaos.run_chaos` (fault plan, matrix shape, and one
+verdict per point — fully deterministic, so chaos envelopes are
+byte-reproducible).
 The envelope is validated (no external dependency) by
 :func:`validate_run_payload`; bump :data:`SCHEMA` if the envelope ever
 changes shape (adding optional keys is backward-compatible).
@@ -59,7 +63,7 @@ __all__ = [
 SCHEMA = "repro.run/1"
 
 _OPTIONAL_SECTIONS = ("metrics", "latency", "critpath", "hotspots", "perf",
-                      "profile", "shard")
+                      "profile", "shard", "faults")
 
 
 def make_run_payload(
@@ -73,6 +77,7 @@ def make_run_payload(
     perf: Mapping[str, Any] | None = None,
     profile: Mapping[str, Any] | None = None,
     shard: Mapping[str, Any] | None = None,
+    faults: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble one schema-stable run document.
 
@@ -94,7 +99,7 @@ def make_run_payload(
     for key, value in (("metrics", metrics), ("latency", latency),
                        ("critpath", critpath), ("hotspots", hotspots),
                        ("perf", perf), ("profile", profile),
-                       ("shard", shard)):
+                       ("shard", shard), ("faults", faults)):
         if value is not None:
             payload[key] = dict(value)
     return payload
@@ -196,6 +201,15 @@ def run_payload_to_jsonl(payload: Mapping[str, Any]) -> str:
     if shard is not None:
         lines.append(json.dumps({"record": "shard", **shard},
                                 sort_keys=True))
+    faults = document.get("faults")
+    if faults is not None:
+        summary = {key: value for key, value in faults.items()
+                   if key != "verdicts"}
+        lines.append(json.dumps({"record": "faults", **summary},
+                                sort_keys=True))
+        for verdict in faults.get("verdicts", []):
+            lines.append(json.dumps({"record": "chaos.verdict", **verdict},
+                                    sort_keys=True))
     for block in document.get("hotspots", {}).get("top", []):
         row = {"record": "hotspot"}
         row.update(block if isinstance(block, dict) else {"value": block})

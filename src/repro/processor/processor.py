@@ -37,6 +37,7 @@ class Processor:
         self.sim = machine.sim
         self.controller = machine.nodes[pid].controller
         self.rng = random.Random((machine.config.seed << 20) ^ pid)
+        self.faults = getattr(machine, "faults", None)
         self.process: Process | None = None
         self.ops_issued = 0
         self.finish_time: int | None = None
@@ -82,6 +83,15 @@ class Processor:
             return
         if isinstance(op, _ops.MemOp):
             self.ops_issued += 1
+            if self.faults is not None:
+                stall = self.faults.cpu_stall(self.pid)
+                if stall:
+                    # Injected stall window (an interrupt hits before
+                    # the op issues): the operation is late, never
+                    # lost, so program semantics are untouched.
+                    self.sim.schedule(stall, self.controller.execute,
+                                      op, process.resume)
+                    return
             self.controller.execute(op, process.resume)
             return
         raise ProgramError(f"program yielded a non-operation: {op!r}")

@@ -274,6 +274,125 @@ def test_attach_progress_writer_dispatch():
         parallel.attach_progress_writer(events, "csv")
 
 
+# ----------------------------------------------------------------------
+# Self-healing: retries, quarantine, timeouts, corrupt-cache hygiene.
+# ----------------------------------------------------------------------
+
+def _flaky_runner(sentinel=""):
+    """Fails on its first call (creating the sentinel), then succeeds."""
+    import os
+
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        raise RuntimeError("transient failure")
+    return {"value": 42}
+
+
+def _failing_runner(tag=""):
+    raise RuntimeError(f"persistent failure {tag}")
+
+
+def _exit_once_runner(sentinel=""):
+    """Hard-kills its worker process on the first call, then succeeds."""
+    import os
+
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os._exit(1)
+    return {"value": "recovered"}
+
+
+def _sleeping_runner(seconds=0.0):
+    import time
+
+    time.sleep(seconds)
+    return {"value": "slept"}
+
+
+def test_retry_recovers_flaky_point(tmp_path):
+    point = make_point(_flaky_runner, sentinel=str(tmp_path / "tried"))
+    outcomes = run_sweep([point], retries=1, retry_backoff=0.0)
+    assert outcomes[0].attempts == 2
+    assert outcomes[0].error is None
+    assert outcomes[0].result == {"value": 42}
+
+
+def test_failure_without_quarantine_aborts_the_sweep():
+    from repro.errors import SimulationError
+
+    point = make_point(_failing_runner, tag="abort")
+    with pytest.raises(SimulationError, match="persistent failure abort"):
+        run_sweep([point])
+
+
+def test_quarantined_point_does_not_abort_the_sweep():
+    registry = MetricsRegistry()
+    points = [make_point(_failing_runner, tag="q"), counter_points()[0]]
+    outcomes = run_sweep(points, quarantine=True, registry=registry)
+    assert outcomes[0].error is not None
+    assert "persistent failure q" in outcomes[0].error
+    assert outcomes[0].result is None
+    assert outcomes[1].error is None
+    assert outcomes[1].result is not None
+    snap = registry.snapshot()
+    assert snap["sweep.quarantined"] == 1
+    assert snap["sweep.points"] == 2
+    assert snap["sweep.executed"] == 1
+
+
+def test_pool_worker_crash_is_retried(tmp_path):
+    # Two pending points so the pool path engages (a single point runs
+    # serially, where os._exit would take the test process with it).
+    points = [
+        make_point(_exit_once_runner, sentinel=str(tmp_path / "crashed")),
+        make_point(_sleeping_runner, seconds=0.0),
+    ]
+    outcomes = run_sweep(points, jobs=2, retries=1, retry_backoff=0.0)
+    assert outcomes[0].attempts == 2
+    assert outcomes[0].result == {"value": "recovered"}
+    assert outcomes[1].result == {"value": "slept"}
+
+
+def test_point_timeout_quarantines_hung_worker():
+    # A hang is never retried (a deterministic hang would hang every
+    # attempt); the poisoned pool is killed, not joined.
+    import time
+
+    registry = MetricsRegistry()
+    t0 = time.monotonic()
+    outcomes = run_sweep(
+        [make_point(_sleeping_runner, seconds=60.0),
+         make_point(_sleeping_runner, seconds=0.0)],
+        jobs=2, point_timeout=1.0, retries=3, quarantine=True,
+        registry=registry,
+    )
+    assert time.monotonic() - t0 < 20.0
+    assert outcomes[0].attempts == 1
+    assert outcomes[0].error is not None
+    assert "still running after" in outcomes[0].error
+    assert outcomes[1].error is None
+    assert outcomes[1].result == {"value": "slept"}
+    assert registry.snapshot()["sweep.quarantined"] == 1
+
+
+def test_corrupt_cache_entry_is_quarantined_on_disk(tmp_path):
+    registry = MetricsRegistry()
+    cache = ResultCache(tmp_path)
+    point = counter_points()[0]
+    run_sweep([point], cache=cache)
+    path = cache.path_for(point_key(point))
+    path.write_text("{not json")
+    fresh = ResultCache(tmp_path)
+    run_sweep([point], cache=fresh, registry=registry)
+    # The corrupt entry was moved aside for inspection, counted, and
+    # surfaced through the sweep registry (repro stats shows it).
+    assert fresh.corrupt == 1
+    assert path.with_name(path.name + ".corrupt").exists()
+    assert registry.snapshot()["sweep.cache.corrupt"] == 1
+
+
 def test_point_telemetry_present_but_never_cached(tmp_path):
     points = counter_points()[:2]
     first = run_sweep(points, cache=tmp_path / "cache")

@@ -1,0 +1,182 @@
+"""Self-healing of the sharded process backend: watchdog and retries."""
+
+import os
+import time
+
+import pytest
+
+from repro.config import small_config
+from repro.errors import (
+    DeadlockError,
+    SimulationError,
+    WorkerCrashError,
+    WorkerHangError,
+)
+from repro.harness import shardwork
+from repro.harness.shardrun import _ProcessBackend, run_shard
+from repro.obs.events import EventBus, EventRecorder
+
+CONFIG = small_config(n_nodes=4)
+
+
+def _install(monkeypatch, name, description, setup=None, program=None):
+    """Register a derived workload; fork inherits the patched table."""
+    base = shardwork.SHARD_WORKLOADS["local_faa"]
+    monkeypatch.setitem(
+        shardwork.SHARD_WORKLOADS, name,
+        shardwork.ShardWorkload(
+            name=name,
+            description=description,
+            setup=setup if setup is not None else base.setup,
+            program=program if program is not None else base.program,
+        ),
+    )
+
+
+def _kill_once_program(sentinel):
+    """A program that hard-kills its worker process exactly once."""
+    base = shardwork.SHARD_WORKLOADS["local_faa"]
+
+    def program(proc, ctx, turns):
+        if proc.pid == 0 and not os.path.exists(sentinel):
+            with open(sentinel, "w"):
+                pass
+            os._exit(3)
+        yield from base.program(proc, ctx, turns)
+
+    return program
+
+
+def test_worker_killed_mid_window_recovers_by_retry(
+        tmp_path, monkeypatch):
+    # First attempt: worker 0's region dies with exit code 3.  The
+    # coordinator classifies the crash, tears the pool down, and the
+    # retry (sentinel now present) produces the same outcome as an
+    # unperturbed run — except info["attempts"].
+    sentinel = str(tmp_path / "killed")
+    _install(monkeypatch, "kill_once", "dies once mid-window",
+             program=_kill_once_program(sentinel))
+    bus = EventBus()
+    recorder = EventRecorder(bus, kinds=("shard.retry",))
+    golden = run_shard(CONFIG, workload="local_faa", shards=2, turns=2)
+
+    outcome = run_shard(CONFIG, workload="kill_once", shards=2, turns=2,
+                        backend="process", retries=1, retry_backoff=0.01,
+                        window_timeout=30.0, events=bus)
+    assert outcome.info["attempts"] == 2
+    assert (dict(outcome.results, workload="local_faa")
+            == golden.results)
+    assert outcome.metrics == golden.metrics
+    assert len(recorder) == 1
+    assert recorder.events[0].data["attempt"] == 1
+    assert "WorkerCrashError" in recorder.events[0].data["reason"]
+
+
+def test_worker_crash_raises_when_retries_exhausted(
+        tmp_path, monkeypatch):
+    sentinel = str(tmp_path / "killed")
+    _install(monkeypatch, "kill_once_noretry", "dies once mid-window",
+             program=_kill_once_program(sentinel))
+    with pytest.raises(WorkerCrashError, match="died mid-window"):
+        run_shard(CONFIG, workload="kill_once_noretry", shards=2, turns=2,
+                  backend="process", retries=0, window_timeout=30.0)
+
+
+def test_hung_worker_trips_window_watchdog(monkeypatch):
+    # A worker that stops making progress while staying alive must be
+    # classified as a hang (heartbeats prove liveness, not progress).
+    def sleeping_setup(machine, turns):
+        if machine.region is not None and 0 in machine.region:
+            time.sleep(60)
+        return shardwork.SHARD_WORKLOADS["local_faa"].setup(machine, turns)
+
+    _install(monkeypatch, "sleeper", "sleeps past the watchdog",
+             setup=sleeping_setup)
+    t0 = time.monotonic()
+    with pytest.raises(WorkerHangError, match="window watchdog"):
+        run_shard(CONFIG, workload="sleeper", shards=2, turns=1,
+                  backend="process", retries=0, window_timeout=0.6)
+    # Failure-path teardown terminates the sleeper instead of waiting
+    # out the graceful close; the whole thing is sub-5s.
+    assert time.monotonic() - t0 < 5.0
+
+
+def test_worker_traceback_propagates_mid_window(monkeypatch):
+    # An exception inside a worker's simulation loop (not setup) must
+    # surface with its traceback, and is NOT retryable: a deterministic
+    # error would fail every attempt identically.
+    def exploding_program(proc, ctx, turns):
+        if proc.pid == 0:
+            raise RuntimeError("boom mid-window")
+        yield from shardwork.SHARD_WORKLOADS["local_faa"].program(
+            proc, ctx, turns)
+
+    _install(monkeypatch, "exploder", "raises mid-window",
+             program=exploding_program)
+    with pytest.raises(SimulationError,
+                       match="boom mid-window") as excinfo:
+        run_shard(CONFIG, workload="exploder", shards=2, turns=2,
+                  backend="process", retries=3, retry_backoff=0.01)
+    assert "Traceback" in str(excinfo.value)
+    assert not isinstance(excinfo.value, (WorkerCrashError, WorkerHangError))
+
+
+def test_deadlock_detected_across_regions_process_backend(monkeypatch):
+    # The cross-region barrier deadlock must be detected under the
+    # process backend too: workers drain, finish, and the coordinator
+    # sees blocked programs in the merged finish payloads.
+    def stuck_program(proc, ctx, turns):
+        yield proc.barrier(0)
+
+    _install(monkeypatch, "stuck_proc", "waits on an unfillable barrier",
+             program=stuck_program)
+    with pytest.raises(DeadlockError, match="blocked"):
+        run_shard(CONFIG, workload="stuck_proc", shards=2, turns=1,
+                  backend="process")
+
+
+def test_close_escalates_to_kill_and_reports_leaks():
+    # Unit-level: close() walks join -> terminate -> kill and surfaces
+    # workers that survive everything instead of abandoning them.
+    class FakeProc:
+        def __init__(self, stubborn):
+            self.stubborn = stubborn
+            self.pid = 4242 if stubborn else 4243
+            self.terminated = False
+            self.killed = False
+
+        def join(self, timeout=None):
+            pass
+
+        def is_alive(self):
+            return self.stubborn
+
+        def terminate(self):
+            self.terminated = True
+
+        def kill(self):
+            self.killed = True
+
+    backend = _ProcessBackend.__new__(_ProcessBackend)
+    backend.conns = []
+    soft = FakeProc(stubborn=False)
+    hard = FakeProc(stubborn=True)
+    backend.procs = [soft, hard]
+    with pytest.raises(SimulationError, match="leaked after kill"):
+        backend.close()
+    assert hard.terminated and hard.killed
+    assert not soft.terminated
+    # Idempotent: the lists were popped before the walk.
+    backend.close()
+
+
+def test_watchdogged_run_matches_inline(monkeypatch):
+    # Arming the watchdog must not perturb the simulation: the process
+    # backend with heartbeats on is bit-identical to the inline run.
+    inline = run_shard(CONFIG, workload="golden_contention", shards=2,
+                       turns=2)
+    guarded = run_shard(CONFIG, workload="golden_contention", shards=2,
+                        turns=2, backend="process", window_timeout=30.0)
+    assert guarded.results == inline.results
+    assert guarded.metrics == inline.metrics
+    assert guarded.info["attempts"] == 1

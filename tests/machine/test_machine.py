@@ -91,6 +91,42 @@ def test_deadlock_detection():
         m.run()
 
 
+def test_deadlock_message_names_blocked_programs():
+    m = make_machine(4)
+
+    def stuck(p):
+        yield p.barrier(0, 4)  # four expected, only two arrive
+
+    m.spawn(0, stuck)
+    m.spawn(1, stuck)
+    with pytest.raises(DeadlockError,
+                       match=r"2 program\(s\) blocked") as excinfo:
+        m.run()
+    assert "cpu0" in str(excinfo.value)
+    assert "cpu1" in str(excinfo.value)
+
+
+def test_deadlock_ignores_finished_programs():
+    m = make_machine(4)
+    addr = m.alloc_sync(SyncPolicy.INV, home=0)
+
+    def stuck(p):
+        yield p.barrier(0, 2)
+
+    def fine(p):
+        yield p.fetch_add(addr, 1)
+
+    m.spawn(0, stuck)
+    m.spawn(1, fine)
+    with pytest.raises(DeadlockError,
+                       match=r"1 program\(s\) blocked") as excinfo:
+        m.run()
+    # Only the genuinely blocked program is reported.
+    assert "cpu0" in str(excinfo.value)
+    assert "cpu1" not in str(excinfo.value)
+    assert m.read_word(addr) == 1
+
+
 def test_sequential_respawn_on_same_processor():
     m = make_machine(4)
     addr = m.alloc_sync(SyncPolicy.INV, home=0)
