@@ -107,6 +107,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import json
 import pathlib
 import sys
@@ -150,6 +151,8 @@ TRACE_FORMATS = ("text", "jsonl", "chrome")
 STATS_FORMATS = ("text", "jsonl")
 PROFILE_FORMATS = ("text", "json", "collapsed")
 PROGRESS_FORMATS = ("text", "jsonl")
+TOPOLOGIES = ("mesh", "torus")
+DIRECTORIES = ("full", "limited", "coarse")
 
 
 def _add_common(parser: argparse.ArgumentParser, top_level: bool) -> None:
@@ -166,6 +169,24 @@ def _add_common(parser: argparse.ArgumentParser, top_level: bool) -> None:
                         help="machine size (default 64, the paper's)")
     parser.add_argument("--turns", type=int, default=default(6),
                         help="synthetic-app turns per panel (default 6)")
+    parser.add_argument("--topology", choices=TOPOLOGIES,
+                        default=default("mesh"),
+                        help="interconnect: the paper's 2-D mesh, or a "
+                             "torus with wraparound links (default mesh)")
+    parser.add_argument("--directory", choices=DIRECTORIES,
+                        default=default("full"),
+                        help="sharer-set representation: exact full bit "
+                             "vector, limited-pointer Dir_i_B, or coarse "
+                             "region vector (default full; see "
+                             "docs/scaling.md)")
+    parser.add_argument("--dir-pointers", type=int, default=default(8),
+                        metavar="I",
+                        help="pointer capacity for --directory limited "
+                             "(default 8)")
+    parser.add_argument("--dir-region", type=int, default=default(8),
+                        metavar="R",
+                        help="nodes per region bit for --directory coarse "
+                             "(default 8)")
     parser.add_argument("--out", type=pathlib.Path, default=default(None),
                         help="directory to also write the rendered text to")
     parser.add_argument("--json", type=pathlib.Path, default=default(None),
@@ -228,6 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
         ("ablation-dropcopy", "when drop_copy helps and hurts"),
     ]:
         _add_common(sub.add_parser(name, help=help_text), top_level=False)
+    abdir = sub.add_parser(
+        "ablation-directory",
+        help="sharer-set representations (full/limited/coarse) at scale",
+    )
+    abdir.add_argument("--sizes", type=int, action="append", default=None,
+                       metavar="N",
+                       help="machine sizes to sweep (repeatable; "
+                            "default 64 and 256)")
+    _add_common(abdir, top_level=False)
     stats = sub.add_parser(
         "stats",
         help="metrics registry + latency breakdown of a representative run",
@@ -412,7 +442,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config(args: argparse.Namespace) -> SimConfig:
-    return SimConfig().with_nodes(args.nodes)
+    config = SimConfig().with_nodes(args.nodes)
+    machine = dataclasses.replace(
+        config.machine,
+        topology=args.topology,
+        directory=args.directory,
+        dir_pointers=args.dir_pointers,
+        dir_region=args.dir_region,
+    )
+    config = dataclasses.replace(config, machine=machine)
+    config.validate()
+    return config
+
+
+def _machine_params(args: argparse.Namespace) -> dict[str, str]:
+    """Envelope params describing the machine shape.
+
+    One compact key per concern so determinism diffs can strip either
+    with a single ``--ignore params.topology`` / ``params.directory``.
+    """
+    return {
+        "topology": args.topology,
+        "directory": _config(args).machine.directory_label,
+    }
 
 
 def _sweep_opts(args: argparse.Namespace) -> dict[str, Any]:
@@ -448,7 +500,8 @@ def _emit(
     if args.json is not None and results is not None:
         payload = make_run_payload(
             name,
-            params={"nodes": args.nodes, "turns": args.turns},
+            params={"nodes": args.nodes, "turns": args.turns,
+                    **_machine_params(args)},
             results=results,
             metrics=metrics,
             latency=latency,
@@ -563,6 +616,34 @@ def _cmd_ablation_dropcopy(args, out) -> int:
             },
         })
     return 0
+
+
+def _cmd_ablation_directory(args, out) -> int:
+    from .harness.ablation import run_directory_ablation
+
+    sizes = tuple(args.sizes) if args.sizes else (64, 256)
+    outcome = run_directory_ablation(_config(args), sizes=sizes,
+                                     turns=args.turns, **_sweep_opts(args))
+    rows = [
+        [p["nodes"], p["contention"], p["representation"], p["messages"],
+         p["invalidations"], p["spurious_targets"],
+         "yes" if p["final_value"] == p["final_expected"] else "NO"]
+        for p in outcome.points
+    ]
+    eq = outcome.equivalence
+    title = (
+        "Ablation: directory sharer-set representations "
+        f"(exact-capacity runs at n={eq['nodes']} identical: "
+        f"{eq['identical']})"
+    )
+    _emit(args, "ablation-directory", render_table(
+        ["nodes", "contention", "directory", "messages", "INVs",
+         "spurious", "value ok"], rows, title=title), out,
+        results={
+            "equivalence": eq,
+            "points": outcome.points,
+        })
+    return 0 if eq["identical"] else 1
 
 
 def _cmd_stats(args, out) -> int:
@@ -750,7 +831,8 @@ def _cmd_shard(args, out) -> int:
         payload = make_run_payload(
             "shard",
             params={"nodes": args.nodes, "turns": args.turns,
-                    "workload": args.workload, "shards": args.shards},
+                    "workload": args.workload, "shards": args.shards,
+                    **_machine_params(args)},
             results=results,
             metrics=outcome.metrics,
             critpath=outcome.critpath,
@@ -899,6 +981,7 @@ _COMMANDS: dict[str, Callable] = {
     "figure6": _cmd_figure6,
     "ablation-reservations": _cmd_ablation_reservations,
     "ablation-dropcopy": _cmd_ablation_dropcopy,
+    "ablation-directory": _cmd_ablation_directory,
     "perf": _cmd_perf,
     "shard": _cmd_shard,
     "chaos": _cmd_chaos,

@@ -87,6 +87,14 @@ class HomeNode:
             registry = MetricsRegistry()
         self._requests = registry.counter(f"home.{node}.requests")
         self._queued = registry.counter(f"home.{node}.queued")
+        self._registry = registry
+        # Imprecise sharer representations (limited-pointer, coarse
+        # vector) can fan invalidations/updates out beyond the true
+        # sharers; those extras are counted lazily so an exact directory
+        # publishes an unchanged metric set.
+        self._imprecise = directory.imprecise
+        self._c_spurious = None
+        self._c_fanouts = None
         self._service = memory.service
         self._t_directory = memory.config.timing.directory_service
         self.faults = getattr(machine, "faults", None)
@@ -128,6 +136,31 @@ class HomeNode:
         """Re-queue a busy-NAK'd request at the memory module."""
         self._service(self._process, msg, txn=msg.txn, block=msg.block,
                       mtype=msg.mtype.value, requester=msg.requester)
+
+    def _account_fanout(self, entry: Any, others: list, requester: int) -> None:
+        """Count fan-out beyond the exact sharers (imprecise directories).
+
+        Called before the entry mutates, with the targets about to be
+        multicast.  ``spurious_targets`` counts messages sent to nodes
+        that hold no copy; ``imprecise_fanouts`` counts multicasts issued
+        while the representation had lost per-node precision.  Both
+        counters are created on first use so exact-equivalent
+        configurations (e.g. enough pointers) publish identical metrics.
+        """
+        sharers = entry.sharers
+        extra = len(others) - sharers.exact_targets(requester)
+        if extra:
+            if self._c_spurious is None:
+                self._c_spurious = self._registry.counter(
+                    f"home.{self.node}.spurious_targets"
+                )
+            self._c_spurious.value += extra
+        if sharers.overflowed:
+            if self._c_fanouts is None:
+                self._c_fanouts = self._registry.counter(
+                    f"home.{self.node}.imprecise_fanouts"
+                )
+            self._c_fanouts.value += 1
 
     def _process(self, msg: Message) -> None:
         mtype = msg.mtype
@@ -264,7 +297,9 @@ class HomeNode:
             )
             return
         if entry.state is DirState.SHARED:
-            others = entry.sharers - {requester}
+            others = entry.targets(requester)
+            if self._imprecise:
+                self._account_fanout(entry, others, requester)
             entry.set_exclusive(requester)
             for sharer in others:
                 self._send(msg, MessageType.INV, sharer, Unit.CACHE)
@@ -405,8 +440,10 @@ class HomeNode:
         """
         entry = self.directory.entry(msg.block)
         requester = msg.requester
-        if entry.state is DirState.SHARED and requester in entry.sharers:
-            others = entry.sharers - {requester}
+        if entry.state is DirState.SHARED and entry.is_sharer(requester):
+            others = entry.targets(requester)
+            if self._imprecise:
+                self._account_fanout(entry, others, requester)
             entry.set_exclusive(requester)
             for sharer in others:
                 self._send(msg, MessageType.INV, sharer, Unit.CACHE)
@@ -526,7 +563,9 @@ class HomeNode:
         requester = msg.requester
         result, wrote = self._apply_op(msg, kind)
         self._note(msg, self._op_is_write(kind, result))
-        others = entry.sharers - {requester}
+        others = entry.targets(requester)
+        if wrote and self._imprecise:
+            self._account_fanout(entry, others, requester)
         entry.add_sharer(requester)
         data = self.memory.read_block(msg.block)
         acks = 0
@@ -576,7 +615,9 @@ class HomeNode:
         if old == expected:
             # Success: behave like INV — grant an exclusive copy; the
             # requester's cache applies the new value.
-            others = entry.sharers - {requester}
+            others = entry.targets(requester)
+            if self._imprecise:
+                self._account_fanout(entry, others, requester)
             entry.set_exclusive(requester)
             for sharer in others:
                 self._send(msg, MessageType.INV, sharer, Unit.CACHE)

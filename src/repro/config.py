@@ -31,7 +31,24 @@ __all__ = [
     "SimConfig",
     "DEFAULT_CONFIG",
     "small_config",
+    "scale_config",
+    "balanced_width",
 ]
+
+
+def balanced_width(n_nodes: int) -> int:
+    """Largest divisor of ``n_nodes`` that is at most its square root.
+
+    This is the most factor-balanced grid shape with ``width <= height``
+    and no dead positions: 64 -> 8 (8x8), 1000 -> 25 (25x40), primes
+    degenerate to a 1-wide chain.  Used as the default mesh/torus width.
+    """
+    if n_nodes < 1:
+        return 1
+    for width in range(math.isqrt(n_nodes), 0, -1):
+        if n_nodes % width == 0:
+            return width
+    return 1
 
 
 @dataclass(frozen=True)
@@ -94,6 +111,19 @@ class MachineConfig:
         word_size: Word size in bytes.  Atomic primitives operate on words.
         cache_sets: Number of sets per cache.
         cache_assoc: Associativity of each cache.
+        topology: Interconnect shape: ``"mesh"`` (the paper's 2-D
+            wormhole mesh) or ``"torus"`` (same grid with wraparound
+            links, halving worst-case distances on large machines).
+        directory: Sharer-set representation kept per directory entry:
+            ``"full"`` (exact bit vector, the paper's machine),
+            ``"limited"`` (Dir_i_B: up to ``dir_pointers`` precise
+            pointers, broadcast on overflow), or ``"coarse"`` (one
+            presence bit per ``dir_region`` nodes).  Protocol decisions
+            and final values are identical across representations; the
+            imprecise ones send more invalidations/updates (see
+            ``docs/scaling.md``).
+        dir_pointers: Pointer capacity for ``directory="limited"``.
+        dir_region: Region size (nodes per bit) for ``directory="coarse"``.
     """
 
     n_nodes: int = 64
@@ -101,11 +131,32 @@ class MachineConfig:
     word_size: int = 4
     cache_sets: int = 256
     cache_assoc: int = 4
+    topology: str = "mesh"
+    directory: str = "full"
+    dir_pointers: int = 8
+    dir_region: int = 8
+
+    _TOPOLOGIES = ("mesh", "torus")
+    _DIRECTORIES = ("full", "limited", "coarse")
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on structural inconsistencies."""
         if self.n_nodes < 1:
             raise ConfigError("n_nodes must be >= 1")
+        if self.topology not in self._TOPOLOGIES:
+            raise ConfigError(
+                f"topology must be one of {self._TOPOLOGIES}, "
+                f"got {self.topology!r}"
+            )
+        if self.directory not in self._DIRECTORIES:
+            raise ConfigError(
+                f"directory must be one of {self._DIRECTORIES}, "
+                f"got {self.directory!r}"
+            )
+        if self.dir_pointers < 1:
+            raise ConfigError("dir_pointers must be >= 1")
+        if self.dir_region < 1:
+            raise ConfigError("dir_region must be >= 1")
         if self.block_size <= 0 or self.block_size & (self.block_size - 1):
             raise ConfigError("block_size must be a positive power of two")
         if self.word_size <= 0 or self.word_size & (self.word_size - 1):
@@ -127,13 +178,23 @@ class MachineConfig:
 
     @property
     def mesh_width(self) -> int:
-        """Width of the (near-)square 2-D mesh."""
-        return max(1, math.isqrt(self.n_nodes))
+        """Width of the most factor-balanced 2-D grid (no dead spots)."""
+        return balanced_width(self.n_nodes)
 
     @property
     def mesh_height(self) -> int:
-        """Height of the 2-D mesh (``ceil(n_nodes / width)``)."""
+        """Height of the 2-D grid (``ceil(n_nodes / width)``)."""
         return -(-self.n_nodes // self.mesh_width)
+
+    @property
+    def directory_label(self) -> str:
+        """Compact representation tag for envelopes: ``full``,
+        ``limited:<pointers>``, or ``coarse:<region>``."""
+        if self.directory == "limited":
+            return f"limited:{self.dir_pointers}"
+        if self.directory == "coarse":
+            return f"coarse:{self.dir_region}"
+        return self.directory
 
     def data_flits(self, timing: TimingConfig) -> int:
         """Size of a data-carrying message, in flits.
@@ -216,3 +277,29 @@ DEFAULT_CONFIG = SimConfig()
 def small_config(n_nodes: int = 4, seed: int = 12345) -> SimConfig:
     """A small machine for unit tests: identical timing, fewer nodes."""
     return SimConfig(machine=MachineConfig(n_nodes=n_nodes), seed=seed)
+
+
+def scale_config(
+    n_nodes: int = 1024,
+    topology: str = "mesh",
+    directory: str = "limited",
+    dir_pointers: int = 8,
+    dir_region: int = 32,
+) -> SimConfig:
+    """A first-class large machine (16x16, 32x32, ...) for scaling runs.
+
+    Defaults to the sparse directory a real 1024-node machine would use
+    (Dir_8_B limited pointers); pass ``directory="full"`` to keep the
+    paper's exact bit vector, or ``"coarse"`` for region bits (the
+    default ``dir_region=32`` marks one 32x32-torus/mesh row per bit).
+    Timing constants stay the paper's so results compare across sizes.
+    """
+    return SimConfig(
+        machine=MachineConfig(
+            n_nodes=n_nodes,
+            topology=topology,
+            directory=directory,
+            dir_pointers=dir_pointers,
+            dir_region=dir_region,
+        )
+    )

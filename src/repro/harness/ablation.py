@@ -31,10 +31,16 @@ __all__ = [
     "run_reservation_point",
     "DropCopyAblation",
     "run_dropcopy_ablation",
+    "DirectoryAblation",
+    "run_directory_ablation",
+    "run_directory_point",
     "RESERVATION_STRATEGIES",
+    "DIRECTORY_REPRESENTATIONS",
 ]
 
 RESERVATION_STRATEGIES = ("bitvector", "limited", "linkedlist", "serial")
+
+DIRECTORY_REPRESENTATIONS = ("full", "limited", "coarse")
 
 
 @dataclass
@@ -162,4 +168,151 @@ def run_dropcopy_ablation(
             outcome.table[(spec_label, var_label)] = (
                 next(outcomes).result.avg_cycles
             )
+    return outcome
+
+
+@dataclass
+class DirectoryAblation:
+    """Sharer-set representations on the share-then-write sweep.
+
+    Attributes:
+        points: One record per (nodes, contention, representation),
+            carrying invalidation/message counts and the run's
+            deterministic outputs.
+        equivalence: Exact-capacity check at small N: limited pointers
+            sized to the machine and 1-node regions must reproduce the
+            full-bit-vector run *identically* (cycles, messages,
+            metrics), demonstrating unchanged protocol decisions.
+    """
+
+    points: list[dict] = field(default_factory=list)
+    equivalence: dict = field(default_factory=dict)
+
+
+def run_directory_point(
+    representation: str,
+    nodes: int,
+    contention: int,
+    turns: int,
+    dir_pointers: int = 8,
+    dir_region: int = 8,
+    config: SimConfig | None = None,
+    observe: Optional[Callable[[Machine], None]] = None,
+) -> dict:
+    """One share-then-write run under one sharer-set representation.
+
+    Every turn, ``contention`` processors load the counter — becoming
+    directory sharers — then a rotating leader ``fetch_and_add``s it
+    (INV policy), forcing the directory to invalidate every copy.  The
+    full bit vector invalidates exactly the sharers; limited pointers
+    past capacity broadcast; coarse vectors invalidate whole regions.
+    Returns the message/invalidation counts that differ plus the final
+    value, which must not.
+    """
+    base = config or SimConfig()
+    run_config = replace(
+        base,
+        machine=replace(
+            base.machine,
+            n_nodes=nodes,
+            directory=representation,
+            dir_pointers=dir_pointers,
+            dir_region=dir_region,
+        ),
+    )
+    machine = build_machine(run_config)
+    if observe is not None:
+        observe(machine)
+    counter = machine.alloc_sync(SyncPolicy.INV, home=0)
+    n_nodes = machine.n_nodes
+
+    def program(p):
+        for turn in range(turns):
+            yield p.barrier(turn, n_nodes)
+            if p.pid < contention:
+                yield p.load(counter)
+                if p.pid == turn % contention:
+                    yield p.fetch_add(counter, 1)
+
+    machine.spawn_all(program)
+    end = machine.run()
+    snap = machine.registry.snapshot()
+
+    def total(suffix: str) -> int:
+        return sum(v for k, v in snap.items() if k.endswith(suffix))
+
+    return {
+        "representation": representation,
+        "nodes": nodes,
+        "contention": contention,
+        "end_cycle": end,
+        "final_value": machine.read_word(counter),
+        "final_expected": turns,
+        "messages": machine.mesh.stats.messages,
+        "invalidations": snap.get("net.by_type.INV", 0),
+        "inv_acks": snap.get("net.by_type.INV_ACK", 0),
+        "spurious_targets": total(".spurious_targets"),
+        "imprecise_fanouts": total(".imprecise_fanouts"),
+    }
+
+
+def run_directory_ablation(
+    config: SimConfig,
+    sizes: tuple[int, ...] = (64, 256),
+    contentions: tuple[int, ...] = (4, 16, 64),
+    turns: int = 4,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    events: Optional[EventBus] = None,
+) -> DirectoryAblation:
+    """Compare sharer-set representations across machine sizes.
+
+    Two parts: an *equivalence* gate at the smallest size — every
+    representation configured for exact capacity (pointers = N,
+    region = 1) must match the full bit vector cycle-for-cycle — and the
+    *cost sweep*, where the default sparse parameters pay real extra
+    invalidations that grow with machine size.
+    """
+    small = min(sizes)
+    eq_points = [
+        make_point(
+            run_directory_point, config=config,
+            label=f"directory {rep} exact n={small}",
+            representation=rep, nodes=small,
+            contention=min(16, small), turns=turns,
+            dir_pointers=small, dir_region=1,
+        )
+        for rep in DIRECTORY_REPRESENTATIONS
+    ]
+    sweep_jobs = [
+        (rep, nodes, contention)
+        for nodes in sizes
+        for contention in contentions
+        if contention <= nodes
+        for rep in DIRECTORY_REPRESENTATIONS
+    ]
+    sweep_points = [
+        make_point(
+            run_directory_point, config=config,
+            label=f"directory {rep} n={nodes} c={contention}",
+            representation=rep, nodes=nodes,
+            contention=contention, turns=turns,
+            dir_pointers=config.machine.dir_pointers,
+            dir_region=config.machine.dir_region,
+        )
+        for rep, nodes, contention in sweep_jobs
+    ]
+    outcomes = run_sweep(eq_points + sweep_points, jobs=jobs, cache=cache,
+                         events=events)
+    eq = [o.result for o in outcomes[: len(eq_points)]]
+    full = eq[0]
+    outcome = DirectoryAblation(
+        equivalence={
+            "nodes": small,
+            "identical": all(r == {**full, "representation":
+                                   r["representation"]} for r in eq),
+            "runs": eq,
+        },
+        points=[o.result for o in outcomes[len(eq_points):]],
+    )
     return outcome

@@ -53,7 +53,13 @@ from ..sim.engine import Simulator
 from .report import render_table
 from .table1 import run_table1
 
-__all__ = ["PERF_KERNELS", "run_perf", "perf_payload", "render_perf"]
+__all__ = [
+    "PERF_KERNELS",
+    "MEM_BUDGETS_KIB",
+    "run_perf",
+    "perf_payload",
+    "render_perf",
+]
 
 #: Delay mix for the event-churn kernel: dominated by the small delays a
 #: real machine schedules (hits, occupancies, hops), with one far delay
@@ -220,6 +226,72 @@ def _shard_scaling(quick: bool) -> dict[str, Any]:
     }
 
 
+def _registry_sum(machine, suffix: str) -> int:
+    """Sum one per-node counter family from the machine's registry."""
+    snap = machine.registry.snapshot()
+    return sum(v for k, v in snap.items() if k.endswith(suffix))
+
+
+def _mesh_1024(quick: bool) -> dict[str, Any]:
+    """Construction + storms on the 1024-node (32x32 torus) machine.
+
+    The scale configuration a real 1024-node machine would use: torus
+    links, limited-pointer (Dir_8_B) directory.  Phase one is the
+    paper's winning recipe at scale — every processor hits one uncached
+    ``fetch_and_add`` counter.  Phase two puts a smaller crowd on an
+    INV-policy counter, overflowing the pointer capacity so the
+    directory broadcasts — the worst-case fan-out an imprecise
+    representation pays, with the spurious-target volume reported as a
+    deterministic proxy.  The tracemalloc window around this kernel
+    covers machine construction, so its budget gates the constant-memory
+    claim for topology + directory state.
+    """
+    from ..config import scale_config
+
+    inv_crowd, turns = (16, 1) if quick else (48, 2)
+    config = scale_config(1024, topology="torus", directory="limited")
+    t0 = time.perf_counter()
+    m = build_machine(config)
+    build_wall = time.perf_counter() - t0
+    unc = m.alloc_sync(SyncPolicy.UNC, home=0)
+
+    def unc_prog(p):
+        for _ in range(turns):
+            yield p.fetch_add(unc, 1)
+
+    m.spawn_all(unc_prog)
+    unc_end = m.run()
+    # Readers first, so the directory accumulates `inv_crowd` sharers —
+    # past the 8 pointers, the Dir_8_B entry overflows.  The writer's
+    # fetch_and_add then invalidates via broadcast: 1023 INVs for a
+    # handful of true sharers, all counted in spurious_targets.
+    inv = m.alloc_sync(SyncPolicy.INV, home=1)
+
+    def reader(p):
+        yield p.load(inv)
+
+    def writer(p):
+        for _ in range(turns):
+            yield p.fetch_add(inv, 1)
+
+    for pid in range(2, 2 + inv_crowd):
+        m.spawn(pid, reader)
+    m.run()
+    m.spawn(0, writer)
+    end = m.run()
+    return {
+        "end_cycle": end,
+        "unc_end_cycle": unc_end,
+        "events": m.sim.events_processed,
+        "messages": m.mesh.stats.messages,
+        "unc_final": m.read_word(unc),
+        "inv_final": m.read_word(inv),
+        "spurious_targets": _registry_sum(m, ".spurious_targets"),
+        "imprecise_fanouts": _registry_sum(m, ".imprecise_fanouts"),
+        "_info": {"build_wall_seconds": round(build_wall, 6)},
+    }
+
+
 _Kernel = Callable[[bool], dict[str, Any]]
 
 PERF_KERNELS: dict[str, _Kernel] = {
@@ -229,6 +301,25 @@ PERF_KERNELS: dict[str, _Kernel] = {
     "table1_mini": _table1_mini,
     "mesh_64_sharded": _mesh_64_sharded,
     "shard_scaling": _shard_scaling,
+    "mesh_1024": _mesh_1024,
+}
+
+#: Absolute peak-allocation budgets per kernel, in KiB, gated by
+#: ``tools/check_perf_regression.py`` on every CI run (on top of the
+#: ±10% drift band against the committed baseline).  These are
+#: deliberately loose ceilings — about 2x the measured peaks — meant to
+#: catch structural regressions (an O(N^2) table sneaking back into the
+#: topology, per-node state growing a dimension), not noise.  The
+#: ``mesh_1024`` budget is the headline: a 1024-node machine must keep
+#: construction + two storms under ~32 MiB.
+MEM_BUDGETS_KIB: dict[str, int] = {
+    "event_churn": 512,
+    "faa_storm": 4_096,
+    "mesh_saturation": 1_024,
+    "table1_mini": 8_192,
+    "mesh_64_sharded": 4_096,
+    "shard_scaling": 16_384,
+    "mesh_1024": 32_768,
 }
 
 
@@ -285,12 +376,20 @@ def run_perf(
             if best is None or wall < best:
                 best = wall
         events = proxies.get("events")
+        peak_kib = round(peak / 1024, 1)
+        budget = MEM_BUDGETS_KIB.get(name)
+        if budget is not None and peak_kib > budget:
+            raise RuntimeError(
+                f"perf kernel {name!r} peaked at {peak_kib:,.0f} KiB, "
+                f"over its {budget:,} KiB budget"
+            )
         out[name] = {
             "wall_seconds": round(best, 6),
             "events_per_second": (
                 round(events / best) if events and best else None
             ),
-            "peak_alloc_kib": round(peak / 1024, 1),
+            "peak_alloc_kib": peak_kib,
+            "budget_kib": budget,
             "reps": reps,
             "proxies": proxies,
         }

@@ -115,7 +115,13 @@ class Machine:
         for i in local:
             memory = MemoryModule(self.sim, i, config, registry=self.registry,
                                   events=self.events)
-            directory = Directory(i)
+            directory = Directory(
+                i,
+                n_nodes=n,
+                representation=config.machine.directory,
+                pointers=config.machine.dir_pointers,
+                region=config.machine.dir_region,
+            )
             reservations = make_reservation_table(
                 config.reservation_strategy, n, config.reservation_limit
             )

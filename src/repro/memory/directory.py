@@ -1,10 +1,17 @@
-"""Full-bit-vector directory state, one entry per locally-homed block.
+"""Directory state, one entry per locally-homed block.
 
 The directory records, for every memory block homed at a node, which
 caches hold copies and in what mode.  Entries also carry the home-side
 transaction bookkeeping: a ``busy`` flag set while an ownership transfer
 is in flight, and a FIFO of requests that arrived while busy (the paper's
 "queued memory" discipline extends to the directory).
+
+How sharers are *represented* is pluggable (``MachineConfig.directory``):
+the default is the paper's full bit vector, with limited-pointer
+(Dir_i_B, broadcast on overflow) and coarse-vector (region-granularity)
+alternatives for large machines — see :mod:`repro.memory.sharers`.
+Protocol decisions are identical across representations; only the
+invalidation/update fan-out (:meth:`DirectoryEntry.targets`) differs.
 """
 
 from __future__ import annotations
@@ -12,9 +19,10 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from ..errors import ProtocolError
+from .sharers import SharerSet, make_sharer_factory
 
 __all__ = ["DirState", "DirectoryEntry", "Directory"]
 
@@ -32,7 +40,7 @@ class DirectoryEntry:
     """Directory record for one block."""
 
     state: DirState = DirState.UNCACHED
-    sharers: set[int] = field(default_factory=set)
+    sharers: SharerSet = field(default_factory=SharerSet)
     owner: Optional[int] = None
     busy: bool = False
     # Requests that arrived while the entry was busy, replayed FIFO.
@@ -49,13 +57,14 @@ class DirectoryEntry:
         self.sharers.clear()
         self.owner = None
 
-    def set_shared(self, sharers: set[int]) -> None:
+    def set_shared(self, sharers: Iterable[int]) -> None:
         """Transition to SHARED with the given copy holders."""
+        sharers = list(sharers)
         if not sharers:
             self.set_uncached()
             return
         self.state = DirState.SHARED
-        self.sharers = set(sharers)
+        self.sharers.replace(sharers)
         self.owner = None
 
     def set_exclusive(self, owner: int) -> None:
@@ -77,19 +86,44 @@ class DirectoryEntry:
         if self.state is DirState.SHARED and not self.sharers:
             self.set_uncached()
 
+    def is_sharer(self, node: int) -> bool:
+        """Exact membership test (identical across representations)."""
+        return node in self.sharers
+
+    def targets(self, exclude: int) -> list[int]:
+        """Invalidation/update fan-out, ascending node id, without
+        ``exclude``.  Exact sharers for the full bit vector; a superset
+        for imprecise representations (see :mod:`repro.memory.sharers`).
+        """
+        return self.sharers.targets(exclude)
+
 
 class Directory:
     """All directory entries homed at one node (created on demand)."""
 
-    def __init__(self, node: int) -> None:
+    def __init__(
+        self,
+        node: int,
+        n_nodes: int = 0,
+        representation: str = "full",
+        pointers: int = 8,
+        region: int = 8,
+    ) -> None:
         self.node = node
+        self.representation = representation
+        #: True when fan-out may exceed the exact sharer set; the home
+        #: node only accounts spurious-message counters in that case.
+        self.imprecise = representation != "full"
+        self._make_sharers = make_sharer_factory(
+            representation, n_nodes, pointers, region
+        )
         self._entries: dict[int, DirectoryEntry] = {}
 
     def entry(self, block: int) -> DirectoryEntry:
         """The entry for ``block``, creating an UNCACHED one if absent."""
         ent = self._entries.get(block)
         if ent is None:
-            ent = DirectoryEntry()
+            ent = DirectoryEntry(sharers=self._make_sharers())
             self._entries[block] = ent
         return ent
 

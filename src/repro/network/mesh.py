@@ -35,7 +35,7 @@ from ..obs.events import EventBus
 from ..obs.registry import MetricsRegistry
 from ..sim.engine import Simulator
 from .message import Message, MessageType, Unit
-from .topology import Mesh2D
+from .topology import make_topology
 
 __all__ = ["WormholeMesh", "NetworkStats"]
 
@@ -144,7 +144,7 @@ class WormholeMesh:
         self.config = config
         machine = config.machine
         timing = config.timing
-        self.topology = Mesh2D(machine.n_nodes, machine.mesh_width)
+        self.topology = make_topology(machine)
         self._handlers: dict[tuple[int, Unit], Handler] = {}
         # Per-unit handler vectors: one dict probe + one list index on
         # the send fast path instead of a tuple-keyed dict lookup.

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..config import SimConfig
 from ..errors import ConfigError
+from .topology import Mesh2D, make_topology
 
 __all__ = ["RegionPlan", "make_plan", "min_cross_distance"]
 
@@ -80,24 +81,33 @@ class RegionPlan:
 
 
 def min_cross_distance(
-    n_nodes: int, width: int, membership: list[int]
+    n_nodes: int,
+    width: int,
+    membership: list[int],
+    topology: Mesh2D | None = None,
 ) -> int:
-    """Minimum Manhattan distance between nodes of different regions.
+    """Minimum routing distance between nodes of different regions.
 
     Returns 0 when every node shares one region (no cross traffic).
-    Early-exits at distance 1 — the floor for distinct mesh positions —
-    so the common contiguous-partition case costs one boundary scan.
+    Distances come from ``topology`` (default: a plain mesh of the given
+    width) — a torus MUST pass its topology here, since wraparound
+    links shorten cross-region paths and a Manhattan-based lookahead
+    would be unsafely wide.  Early-exits at distance 1 — the floor for
+    distinct grid positions — so the common contiguous-partition case
+    costs one boundary scan.
     """
+    if topology is None:
+        topology = Mesh2D(n_nodes, width)
     best = 0
-    coords = [(node % width, node // width) for node in range(n_nodes)]
+    pair = topology.pair_distance
+    xs, ys = topology._x, topology._y
     for a in range(n_nodes):
         ra = membership[a]
-        ax, ay = coords[a]
+        ax, ay = xs[a], ys[a]
         for b in range(a + 1, n_nodes):
             if membership[b] == ra:
                 continue
-            bx, by = coords[b]
-            d = abs(ax - bx) + abs(ay - by)
+            d = pair(ax, ay, xs[b], ys[b])
             if best == 0 or d < best:
                 best = d
                 if best == 1:
@@ -150,8 +160,9 @@ def make_plan(
         for i, nodes in enumerate(regions):
             for node in nodes:
                 membership[node] = i
+        topology = make_topology(config.machine)
         dist = min_cross_distance(
-            n_nodes, config.machine.mesh_width, membership
+            n_nodes, config.machine.mesh_width, membership, topology
         )
         lookahead = dist * config.timing.hop_cycles
     plan = RegionPlan(n_nodes=n_nodes, regions=regions, lookahead=lookahead)

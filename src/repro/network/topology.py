@@ -1,10 +1,52 @@
-"""2-D mesh topology: node coordinates and X-Y routing distances."""
+"""2-D grid topologies: mesh and torus, with O(1) distance arithmetic.
+
+Nodes are numbered row-major on a ``width x height`` grid.  Distances
+come from coordinate arithmetic — Manhattan for the mesh, wraparound
+Manhattan for the torus — so no topology needs O(N^2) state.  The mesh
+fast path (:mod:`repro.network.mesh` indexes ``topology._dist[src][dst]``
+on every message) still gets a table: a dense precomputed one on small
+machines, exactly as before, and lazily materialized per-source rows on
+large ones, so a 1024-node machine costs one row per *sending* node
+instead of 1M+ entries up front.
+"""
 
 from __future__ import annotations
 
+from array import array
+
+from ..config import MachineConfig, balanced_width
 from ..errors import ConfigError
 
-__all__ = ["Mesh2D"]
+__all__ = ["Mesh2D", "Torus2D", "make_topology"]
+
+# Keep the dense all-pairs table while it stays at or under 64k entries
+# (256 nodes); beyond that, rows materialize lazily on first send.
+_DENSE_LIMIT = 65536
+
+
+class _LazyRows:
+    """Per-source distance rows, computed on first use.
+
+    Quacks like the dense ``list[list[int]]`` table for the only access
+    pattern the mesh uses (``_dist[src][dst]``), but holds one compact
+    ``array('i')`` row per source node that has actually sent a message.
+    """
+
+    __slots__ = ("_topology", "_rows")
+
+    def __init__(self, topology: "Mesh2D") -> None:
+        self._topology = topology
+        self._rows: dict[int, array] = {}
+
+    def __getitem__(self, src: int) -> array:
+        row = self._rows.get(src)
+        if row is None:
+            row = self._topology._row(src)
+            self._rows[src] = row
+        return row
+
+    def __len__(self) -> int:
+        return self._topology.n_nodes
 
 
 class Mesh2D:
@@ -15,36 +57,67 @@ class Mesh2D:
     path length between two nodes is their Manhattan distance, which is all
     the latency model needs — the paper models contention only at the entry
     and exit of the network, not at internal switches.
+
+    The default width is the most factor-balanced divisor of ``n_nodes``
+    (:func:`repro.config.balanced_width`), so default grids have no dead
+    positions; an explicit ``width`` may still describe a partial mesh
+    whose last row is incomplete.
     """
+
+    kind = "mesh"
 
     def __init__(self, n_nodes: int, width: int | None = None) -> None:
         if n_nodes < 1:
             raise ConfigError("mesh needs at least one node")
         if width is None:
-            width = max(1, int(n_nodes**0.5))
+            width = balanced_width(n_nodes)
         if width < 1:
             raise ConfigError("mesh width must be positive")
         self.n_nodes = n_nodes
         self.width = width
         self.height = -(-n_nodes // width)
-        # Precomputed Manhattan distances, row per source node.  The
-        # mesh indexes this directly on its per-message fast path;
-        # `distance()` keeps the bounds-checked public face.
-        xy = [(node % width, node // width) for node in range(n_nodes)]
-        self._dist: list[list[int]] = [
-            [abs(ax - bx) + abs(ay - by) for bx, by in xy] for ax, ay in xy
-        ]
+        # Cached coordinates, one flat array per axis: O(N) state.
+        self._x = array("i", (node % width for node in range(n_nodes)))
+        self._y = array("i", (node // width for node in range(n_nodes)))
+        # Distance rows for the mesh fast path (`_dist[src][dst]`):
+        # dense for small machines (bit-identical to the historical
+        # table), lazy per-source rows past _DENSE_LIMIT entries.
+        if n_nodes * n_nodes <= _DENSE_LIMIT:
+            self._dist: list[list[int]] | _LazyRows = [
+                list(self._row(src)) for src in range(n_nodes)
+            ]
+        else:
+            self._dist = _LazyRows(self)
+
+    # -- distance arithmetic (O(1), no table) --------------------------
+
+    def pair_distance(self, ax: int, ay: int, bx: int, by: int) -> int:
+        """Hop count between two coordinate pairs."""
+        return abs(ax - bx) + abs(ay - by)
+
+    def _row(self, src: int) -> array:
+        """All distances from ``src``, as one compact row."""
+        ax, ay = self._x[src], self._y[src]
+        pair = self.pair_distance
+        x, y = self._x, self._y
+        return array(
+            "i", (pair(ax, ay, x[b], y[b]) for b in range(self.n_nodes))
+        )
 
     def coords(self, node: int) -> tuple[int, int]:
         """Return the ``(x, y)`` position of ``node``."""
         self._check(node)
-        return node % self.width, node // self.width
+        return self._x[node], self._y[node]
 
     def distance(self, a: int, b: int) -> int:
-        """Manhattan (X-Y routing) hop count between nodes ``a`` and ``b``."""
+        """Routing hop count between nodes ``a`` and ``b`` (O(1))."""
         self._check(a)
         self._check(b)
-        return self._dist[a][b]
+        return self.pair_distance(
+            self._x[a], self._y[a], self._x[b], self._y[b]
+        )
+
+    # -- routing -------------------------------------------------------
 
     def route(self, a: int, b: int) -> list[int]:
         """A dimension-ordered route from ``a`` to ``b``, inclusive.
@@ -62,41 +135,86 @@ class Mesh2D:
             f"no dimension-ordered route {a} -> {b} on this partial mesh"
         )
 
+    def _steps(self, start: int, goal: int, size: int) -> list[int]:
+        """Per-axis coordinate sequence from ``start`` to ``goal``
+        (exclusive of ``start``), one unit per hop."""
+        step = 1 if goal > start else -1
+        return list(range(start + step, goal + step, step)) if goal != start else []
+
     def _dimension_ordered(self, a: int, b: int, x_first: bool) -> list[int]:
         ax, ay = self.coords(a)
         bx, by = self.coords(b)
         path = [a]
         x, y = ax, ay
-
-        def walk_x():
-            nonlocal x
-            step = 1 if bx > x else -1
-            while x != bx:
-                x += step
-                path.append(y * self.width + x)
-
-        def walk_y():
-            nonlocal y
-            step = 1 if by > y else -1
-            while y != by:
-                y += step
-                path.append(y * self.width + x)
-
-        if x_first:
-            walk_x()
-            walk_y()
-        else:
-            walk_y()
-            walk_x()
+        axes = ("x", "y") if x_first else ("y", "x")
+        for axis in axes:
+            if axis == "x":
+                for x in self._steps(ax, bx, self.width):
+                    path.append(y * self.width + x)
+            else:
+                for y in self._steps(ay, by, self.height):
+                    path.append(y * self.width + x)
         return path
 
     def average_distance(self) -> float:
         """Mean hop count over all ordered pairs of distinct nodes."""
         if self.n_nodes == 1:
             return 0.0
-        total = sum(sum(row) for row in self._dist)  # diagonal is zero
-        return total / (self.n_nodes * (self.n_nodes - 1))
+        x, y = self._x, self._y
+        pair = self.pair_distance
+        total = 0
+        for a in range(self.n_nodes):
+            ax, ay = x[a], y[a]
+            for b in range(a + 1, self.n_nodes):
+                total += pair(ax, ay, x[b], y[b])
+        return 2 * total / (self.n_nodes * (self.n_nodes - 1))
 
     def _check(self, node: int) -> None:
         if not 0 <= node < self.n_nodes:
-            raise ConfigError(f"node {node} outside mesh of {self.n_nodes}")
+            raise ConfigError(
+                f"node {node} outside {self.kind} of {self.n_nodes}"
+            )
+
+
+class Torus2D(Mesh2D):
+    """A 2-D torus: the mesh grid plus wraparound links on both axes.
+
+    Wraparound halves worst-case distances (a 32x32 torus has diameter
+    32 instead of 62), which matters at 1024 nodes.  Requires a full
+    rectangular grid — wrap links on a ragged last row are ill-defined.
+    Routing stays dimension-ordered; each axis walks whichever direction
+    is shorter, breaking ties toward increasing coordinates.
+    """
+
+    kind = "torus"
+
+    def __init__(self, n_nodes: int, width: int | None = None) -> None:
+        if width is None:
+            width = balanced_width(n_nodes)
+        if width >= 1 and n_nodes % width:
+            raise ConfigError(
+                f"torus needs a full grid: {n_nodes} nodes do not fill "
+                f"width {width}"
+            )
+        super().__init__(n_nodes, width)
+
+    def pair_distance(self, ax: int, ay: int, bx: int, by: int) -> int:
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def _steps(self, start: int, goal: int, size: int) -> list[int]:
+        if start == goal:
+            return []
+        forward = (goal - start) % size
+        backward = (start - goal) % size
+        step = 1 if forward <= backward else -1
+        hops = forward if step == 1 else backward
+        return [(start + step * i) % size for i in range(1, hops + 1)]
+
+
+def make_topology(machine: MachineConfig) -> Mesh2D:
+    """Build the configured topology for one machine."""
+    if machine.topology == "torus":
+        return Torus2D(machine.n_nodes, machine.mesh_width)
+    return Mesh2D(machine.n_nodes, machine.mesh_width)

@@ -1,0 +1,145 @@
+"""Machine-level behavior of the sharer-set representations.
+
+Exact-capacity configurations must be *bit-identical* to the full bit
+vector (same registry snapshot — identical message counts and timing);
+sparse configurations must produce the same final values while honestly
+paying extra invalidation traffic, visible in the lazily-created
+``spurious_targets`` counters.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.coherence.policy import SyncPolicy
+from repro.config import SimConfig, small_config
+from repro.machine.machine import build_machine
+
+
+def _with_directory(n_nodes, **kwargs):
+    base = small_config(n_nodes=n_nodes)
+    return dataclasses.replace(
+        base, machine=dataclasses.replace(base.machine, **kwargs)
+    )
+
+
+def _share_then_write(machine, contention, turns=2):
+    counter = machine.alloc_sync(SyncPolicy.INV, home=0)
+    n = machine.n_nodes
+
+    def program(p):
+        for turn in range(turns):
+            yield p.barrier(turn, n)
+            if p.pid < contention:
+                yield p.load(counter)
+                if p.pid == turn % contention:
+                    yield p.fetch_add(counter, 1)
+
+    machine.spawn_all(program)
+    machine.run()
+    return machine.read_word(counter)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"directory": "limited", "dir_pointers": 8},
+    {"directory": "coarse", "dir_region": 1},
+])
+def test_exact_capacity_is_bit_identical_to_full(kwargs):
+    """Enough pointers / 1-node regions: indistinguishable runs."""
+    n = 8
+    reference = build_machine(_with_directory(n))
+    assert _share_then_write(reference, contention=6) == 2
+
+    other = build_machine(_with_directory(n, **kwargs))
+    assert _share_then_write(other, contention=6) == 2
+    assert (other.registry.snapshot() == reference.registry.snapshot())
+    assert other.now == reference.now
+
+
+def test_limited_overflow_broadcasts_and_counts_spurious():
+    n = 8
+    machine = build_machine(
+        _with_directory(n, directory="limited", dir_pointers=2)
+    )
+    assert _share_then_write(machine, contention=6) == 2
+    snap = machine.registry.snapshot()
+    spurious = sum(
+        v for k, v in snap.items() if k.endswith(".spurious_targets")
+    )
+    fanouts = sum(
+        v for k, v in snap.items() if k.endswith(".imprecise_fanouts")
+    )
+    assert spurious > 0
+    assert fanouts > 0
+    # More messages than the exact directory for the same workload.
+    reference = build_machine(_with_directory(n))
+    _share_then_write(reference, contention=6)
+    assert machine.mesh.stats.messages > reference.mesh.stats.messages
+
+
+def test_coarse_regions_invalidate_bystanders():
+    n = 8
+    machine = build_machine(
+        _with_directory(n, directory="coarse", dir_region=4)
+    )
+    # Sharers 0 and 4 mark both regions; every write invalidates all 8.
+    assert _share_then_write(machine, contention=5) == 2
+    snap = machine.registry.snapshot()
+    assert sum(
+        v for k, v in snap.items() if k.endswith(".spurious_targets")
+    ) > 0
+
+
+def test_exact_directory_publishes_no_imprecision_counters():
+    machine = build_machine(_with_directory(8))
+    _share_then_write(machine, contention=6)
+    snap = machine.registry.snapshot()
+    assert not any("spurious_targets" in k for k in snap)
+    assert not any("imprecise_fanouts" in k for k in snap)
+
+
+def test_exact_capacity_sparse_reps_publish_no_counters_either():
+    """Lazy counter creation: a never-overflowing limited directory
+    keeps the metric namespace identical to the full bit vector."""
+    machine = build_machine(
+        _with_directory(8, directory="limited", dir_pointers=8)
+    )
+    _share_then_write(machine, contention=6)
+    assert not any(
+        "spurious_targets" in k or "imprecise_fanouts" in k
+        for k in machine.registry.snapshot()
+    )
+
+
+def test_scale_config_presets():
+    from repro.config import scale_config
+
+    cfg = scale_config(256, topology="torus", directory="coarse")
+    cfg.validate()
+    assert cfg.machine.mesh_width == 16
+    assert cfg.machine.directory_label == "coarse:32"
+    cfg = scale_config(1024)
+    cfg.validate()
+    assert cfg.machine.mesh_width == 32
+    assert cfg.machine.directory_label == "limited:8"
+
+
+def test_sync_policies_match_across_reps_under_upd():
+    """UPD keeps long-lived sharer sets — the hardest case for sticky
+    imprecision.  Final values still match the exact machine."""
+    n = 8
+    values = []
+    for kwargs in ({}, {"directory": "limited", "dir_pointers": 2},
+                   {"directory": "coarse", "dir_region": 4}):
+        machine = build_machine(_with_directory(n, **kwargs))
+        counter = machine.alloc_sync(SyncPolicy.UPD, home=1)
+
+        def program(p):
+            for turn in range(3):
+                yield p.barrier(turn, n)
+                yield p.fetch_add(counter, 1)
+
+        machine.spawn_all(program)
+        machine.run()
+        values.append(machine.read_word(counter))
+    assert values == [3 * n] * 3

@@ -1,6 +1,7 @@
 """Ablation drivers at small scale."""
 
 from repro import SimConfig
+from repro.config import small_config
 from repro.harness.ablation import (
     RESERVATION_STRATEGIES,
     run_dropcopy_ablation,
@@ -33,3 +34,32 @@ def test_dropcopy_long_run_claim_at_small_scale():
     outcome = run_dropcopy_ablation(CFG8, turns=4)
     # Long write runs: dropping the line is always a loss for INV.
     assert outcome.table[("a=10", "INV+dc")] > outcome.table[("a=10", "INV")]
+
+
+def test_directory_ablation_equivalence_and_sweep_shape():
+    from repro.harness.ablation import (
+        DIRECTORY_REPRESENTATIONS,
+        run_directory_ablation,
+    )
+
+    outcome = run_directory_ablation(
+        small_config(n_nodes=8), sizes=(8, 16), contentions=(4, 16), turns=2
+    )
+    eq = outcome.equivalence
+    assert eq["nodes"] == 8
+    assert eq["identical"] is True
+    assert len(eq["runs"]) == len(DIRECTORY_REPRESENTATIONS)
+    # Sweep: contention 16 only fits the 16-node machine -> 3 + 6 points.
+    assert len(outcome.points) == 9
+    for point in outcome.points:
+        assert point["final_value"] == point["final_expected"]
+    # At every (nodes, contention) the full vector sends the fewest
+    # messages and never records spurious invalidation targets.
+    by_cell = {}
+    for point in outcome.points:
+        by_cell.setdefault((point["nodes"], point["contention"]),
+                           {})[point["representation"]] = point
+    for cell in by_cell.values():
+        assert cell["full"]["spurious_targets"] == 0
+        assert cell["full"]["messages"] <= cell["limited"]["messages"]
+        assert cell["full"]["messages"] <= cell["coarse"]["messages"]

@@ -332,3 +332,59 @@ def test_progress_format_jsonl(tmp_path, capsys):
 def test_progress_format_rejects_unknown():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["table1", "--progress-format", "csv"])
+
+
+def test_topology_and_directory_flags_parse():
+    args = build_parser().parse_args(
+        ["--nodes", "16", "--topology", "torus", "--directory", "limited",
+         "--dir-pointers", "2", "--dir-region", "4", "figure3"]
+    )
+    assert args.topology == "torus"
+    assert args.directory == "limited"
+    assert args.dir_pointers == 2
+    assert args.dir_region == 4
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--topology", "ring", "figure3"])
+
+
+def test_machine_params_tag_envelopes(tmp_path):
+    import json
+
+    out = tmp_path / "figure3.json"
+    code, _ = run_cli(["--nodes", "4", "--turns", "2",
+                       "--topology", "torus", "--directory", "limited",
+                       "--dir-pointers", "2", "figure3",
+                       "--json", str(out)])
+    assert code == 0
+    params = json.loads(out.read_text())["params"]
+    assert params["topology"] == "torus"
+    assert params["directory"] == "limited:2"
+
+
+def test_directory_flags_reach_the_machine():
+    # limited:1 on 4 nodes must still produce correct figure3 numbers
+    # (the directory representation never changes protocol results).
+    code, text = run_cli(["--nodes", "4", "--turns", "2",
+                          "--directory", "limited", "--dir-pointers", "1",
+                          "figure3"])
+    assert code == 0
+    assert "FAP/UNC" in text
+
+
+def test_ablation_directory_small(tmp_path):
+    import json
+
+    out = tmp_path / "ablation_directory.json"
+    code, text = run_cli(["--nodes", "8", "--turns", "2",
+                          "ablation-directory", "--sizes", "8",
+                          "--json", str(out)])
+    assert code == 0
+    assert "directory sharer-set representations" in text.lower()
+    payload = json.loads(out.read_text())
+    eq = payload["results"]["equivalence"]
+    assert eq["identical"] is True
+    reps = {p["representation"] for p in payload["results"]["points"]}
+    assert reps == {"full", "limited", "coarse"}

@@ -61,3 +61,37 @@ def test_render_lists_every_kernel():
     for name in PERF_KERNELS:
         assert name in text
     assert "quick mode" in text
+
+
+def test_mesh_1024_kernel_registered_and_budgeted():
+    from repro.harness.perf import MEM_BUDGETS_KIB
+
+    assert "mesh_1024" in PERF_KERNELS
+    assert set(MEM_BUDGETS_KIB) == set(PERF_KERNELS)
+    results = run_perf(quick=True, reps=1, kernels=["mesh_1024"])
+    report = results["kernels"]["mesh_1024"]
+    assert report["budget_kib"] == MEM_BUDGETS_KIB["mesh_1024"]
+    assert report["peak_alloc_kib"] <= report["budget_kib"]
+    proxies = report["proxies"]
+    # 1024 processors each fetch_add once on the uncached counter.
+    assert proxies["unc_final"] == 1024
+    # The limited-pointer directory broadcast past its 8 pointers.
+    assert proxies["spurious_targets"] > 0
+    assert proxies["imprecise_fanouts"] > 0
+
+
+def test_memory_budget_violation_raises(monkeypatch):
+    from repro.harness import perf
+
+    monkeypatch.setitem(perf.MEM_BUDGETS_KIB, "event_churn", 0.001)
+    with pytest.raises(RuntimeError, match="over its 0.001 KiB budget"):
+        run_perf(quick=True, reps=1, kernels=["event_churn"])
+
+
+def test_budget_kib_flows_into_payload():
+    results = run_perf(quick=True, reps=1, kernels=["event_churn"])
+    payload = validate_run_payload(perf_payload(results), experiment="perf")
+    from repro.harness.perf import MEM_BUDGETS_KIB
+
+    assert (payload["results"]["event_churn"]["budget_kib"]
+            == MEM_BUDGETS_KIB["event_churn"])

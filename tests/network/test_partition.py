@@ -94,3 +94,55 @@ def test_min_cross_distance():
     # Any partition of a connected mesh into 2+ regions has an adjacent
     # cross-region pair somewhere, so contiguous plans always see 1.
     assert min_cross_distance(4, 4, [0, 1, 1, 2]) == 1
+
+
+def test_min_cross_distance_uses_topology_wraparound():
+    from repro.network.topology import Mesh2D, Torus2D
+
+    # 4x4 grid split: top row one region, everything else the other.
+    # On the mesh they meet at distance 1 (rows 0 and 1); forcing the
+    # second region to the bottom row only, the gap is 2 mesh hops but
+    # just 1 torus hop through the wrap.
+    membership = [0] * 4 + [2] * 8 + [1] * 4
+    mesh = Mesh2D(16, 4)
+    torus = Torus2D(16, 4)
+
+    def gap(topology):
+        # Only regions 0 and 1 exist in this probe.
+        probe = [m if m != 2 else 0 for m in membership]
+        return min_cross_distance(16, 4, probe, topology=topology)
+
+    # Rows 0-2 vs row 3: adjacent either way.
+    assert gap(mesh) == 1
+    assert gap(torus) == 1
+    # Row 0 vs row 3 alone: the torus wrap shortens the separation.
+    regions = ((0, 1, 2, 3), (12, 13, 14, 15))
+
+    def direct(topology):
+        best = None
+        for a in regions[0]:
+            for b in regions[1]:
+                d = topology.distance(a, b)
+                best = d if best is None else min(best, d)
+        return best
+
+    assert direct(mesh) == 3
+    assert direct(torus) == 1
+
+
+def test_make_plan_lookahead_respects_torus():
+    import dataclasses
+
+    base = small_config(n_nodes=16)
+    mesh_cfg = base
+    torus_cfg = dataclasses.replace(
+        base, machine=dataclasses.replace(base.machine, topology="torus")
+    )
+    mesh_plan = make_plan(mesh_cfg, 4)
+    torus_plan = make_plan(torus_cfg, 4)
+    # Both are valid plans over the same nodes.
+    mesh_plan.validate()
+    torus_plan.validate()
+    # The torus can only shrink the minimum cross distance, so its
+    # conservative lookahead never exceeds the mesh's.
+    assert torus_plan.lookahead <= mesh_plan.lookahead

@@ -84,3 +84,114 @@ def test_out_of_range_node_rejected():
 def test_zero_nodes_rejected():
     with pytest.raises(ConfigError):
         Mesh2D(0)
+
+
+# ---------------------------------------------------------------------------
+# Scale: balanced default widths, lazy distance rows, torus wraparound.
+# ---------------------------------------------------------------------------
+
+def test_default_width_is_factor_balanced():
+    from repro.config import balanced_width
+
+    assert Mesh2D(1000).width == 25      # 25x40, no dead positions
+    assert Mesh2D(1000).height == 40
+    assert Mesh2D(12).width == 3
+    assert Mesh2D(7).width == 1          # primes degrade to a chain
+    assert balanced_width(1024) == 32
+    assert balanced_width(256) == 16
+
+
+def test_dense_and_lazy_tables_agree():
+    from repro.network.topology import _DENSE_LIMIT, _LazyRows
+
+    small = Mesh2D(64)
+    assert isinstance(small._dist, list)  # dense: the historical table
+    big = Mesh2D(1024)
+    assert isinstance(big._dist, _LazyRows)
+    assert 1024 * 1024 > _DENSE_LIMIT
+    for a, b in [(0, 1023), (31, 992), (500, 501), (77, 77)]:
+        assert big._dist[a][b] == big.distance(a, b)
+    # Rows are cached: same object on the second access.
+    assert big._dist[5] is big._dist[5]
+
+
+def test_large_machine_construction_is_cheap():
+    import time
+
+    t0 = time.perf_counter()
+    Mesh2D(4096)
+    assert time.perf_counter() - t0 < 0.5  # the old table took seconds
+
+
+def test_partial_mesh_routing_at_scale():
+    # 31x33 partial grid: 23 dead positions in the last row.
+    mesh = Mesh2D(1000, width=31)
+    for a, b in [(0, 999), (999, 0), (980, 30), (992, 968)]:
+        route = mesh.route(a, b)
+        assert route[0] == a and route[-1] == b
+        assert all(n < 1000 for n in route)
+        assert len(route) == mesh.distance(a, b) + 1
+
+
+def test_torus_distance_wraps():
+    from repro.network.topology import Torus2D
+
+    torus = Torus2D(64)
+    assert torus.width == torus.height == 8
+    assert torus.distance(0, 7) == 1      # x wrap
+    assert torus.distance(0, 56) == 1     # y wrap
+    assert torus.distance(0, 63) == 2     # both axes wrap
+    assert torus.distance(0, 36) == 8     # (4,4): no shortcut
+    mesh = Mesh2D(64)
+    for a, b in [(0, 63), (5, 58), (16, 47)]:
+        assert torus.distance(a, b) <= mesh.distance(a, b)
+
+
+def test_torus_route_uses_wraparound():
+    from repro.network.topology import Torus2D
+
+    torus = Torus2D(64)
+    assert torus.route(0, 7) == [0, 7]
+    assert torus.route(0, 56) == [0, 56]
+    route = torus.route(0, 63)
+    assert len(route) == 3
+    for a, b in zip(route, route[1:]):
+        assert torus.distance(a, b) == 1
+
+
+def test_torus_route_tie_breaks_forward():
+    from repro.network.topology import Torus2D
+
+    torus = Torus2D(16)  # 4x4: opposite nodes are 2 hops either way
+    route = torus.route(0, 2)
+    assert route == [0, 1, 2]  # forward, not backward through the wrap
+
+
+def test_torus_rejects_partial_grid():
+    from repro.network.topology import Torus2D
+
+    with pytest.raises(ConfigError):
+        Torus2D(10, width=3)
+
+
+def test_torus_metric_axioms():
+    from repro.network.topology import Torus2D
+
+    torus = Torus2D(36)
+    for a in (0, 7, 35):
+        assert torus.distance(a, a) == 0
+        for b in (1, 17, 30):
+            assert torus.distance(a, b) == torus.distance(b, a)
+            for c in (3, 22):
+                assert (torus.distance(a, c)
+                        <= torus.distance(a, b) + torus.distance(b, c))
+
+
+def test_make_topology_factory():
+    from repro.config import MachineConfig
+    from repro.network.topology import Torus2D, make_topology
+
+    mesh = make_topology(MachineConfig(n_nodes=64))
+    assert type(mesh) is Mesh2D and mesh.width == 8
+    torus = make_topology(MachineConfig(n_nodes=256, topology="torus"))
+    assert isinstance(torus, Torus2D) and torus.width == 16

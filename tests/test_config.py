@@ -1,5 +1,7 @@
 """Configuration validation and derived quantities."""
 
+import dataclasses
+
 import pytest
 
 from repro.config import (
@@ -99,3 +101,43 @@ def test_public_api_surface():
 
     for name in repro.__all__:
         assert hasattr(repro, name), name
+
+
+class TestScaleMachine:
+    def test_balanced_width(self):
+        from repro.config import balanced_width
+
+        assert balanced_width(1) == 1
+        assert balanced_width(64) == 8
+        assert balanced_width(1000) == 25
+        assert balanced_width(1024) == 32
+        assert balanced_width(13) == 1  # primes fall back to a chain
+
+    @pytest.mark.parametrize("kwargs", [
+        {"topology": "ring"},
+        {"directory": "sparse"},
+        {"directory": "limited", "dir_pointers": 0},
+        {"directory": "coarse", "dir_region": 0},
+    ])
+    def test_invalid_scale_fields_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(MachineConfig(), **kwargs).validate()
+
+    def test_directory_label(self):
+        assert MachineConfig().directory_label == "full"
+        limited = dataclasses.replace(
+            MachineConfig(), directory="limited", dir_pointers=4
+        )
+        assert limited.directory_label == "limited:4"
+        coarse = dataclasses.replace(
+            MachineConfig(), directory="coarse", dir_region=16
+        )
+        assert coarse.directory_label == "coarse:16"
+
+    def test_scale_config_validates(self):
+        from repro.config import scale_config
+
+        cfg = scale_config()
+        cfg.validate()
+        assert cfg.machine.n_nodes == 1024
+        assert cfg.machine.directory == "limited"

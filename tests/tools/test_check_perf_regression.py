@@ -172,3 +172,26 @@ def test_update_baselines_with_no_divergence_refreshes_walls(tmp_path,
     ])
     assert code == 0
     assert "no divergences" in capsys.readouterr().out
+
+
+def test_absolute_budget_pass(tmp_path):
+    cur = envelope({"event_churn": dict(kernel(peak_kib=100.0),
+                                        budget_kib=512)})
+    base = envelope({"event_churn": kernel(peak_kib=100.0)})
+    assert run_gate(tmp_path, base, cur) == 0
+
+
+def test_absolute_budget_violation_fails(tmp_path, capsys):
+    cur = envelope({"event_churn": dict(kernel(peak_kib=600.0),
+                                        budget_kib=512)})
+    base = envelope({"event_churn": kernel(peak_kib=600.0)})
+    assert run_gate(tmp_path, base, cur) == 1
+    out = capsys.readouterr().out
+    assert "exceeds its absolute budget" in out
+    assert "512" in out
+
+
+def test_kernel_without_budget_is_not_gated(tmp_path):
+    # Old envelopes (no budget_kib) keep passing on the relative band.
+    cur = envelope({"event_churn": kernel(peak_kib=600.0)})
+    assert run_gate(tmp_path, cur, cur) == 0

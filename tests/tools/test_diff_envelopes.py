@@ -96,3 +96,21 @@ def test_missing_key_is_a_divergence(tmp_path, capsys):
     del b["metrics"]["net.messages"]
     assert diff.main(write_all(tmp_path, a, b)) == 1
     assert "only in reference" in capsys.readouterr().out
+
+
+def test_ignore_topology_and_directory_params(tmp_path):
+    """Representation ablations: the same simulation tagged with
+    different params.directory / params.topology labels must diff
+    clean once that concern is stripped."""
+    full = envelope()
+    full["params"].update({"topology": "mesh", "directory": "full"})
+    limited = envelope()
+    limited["params"].update({"topology": "mesh", "directory": "limited:64"})
+    coarse = envelope()
+    coarse["params"].update({"topology": "torus", "directory": "coarse:1"})
+    paths = write_all(tmp_path, full, limited, coarse)
+    assert diff.main(paths) == 1
+    assert diff.main(["--ignore", "params.directory",
+                      "--ignore", "params.topology", *paths]) == 0
+    # Ignoring only one concern still reports the other.
+    assert diff.main(["--ignore", "params.directory", *paths]) == 1

@@ -17,6 +17,9 @@ script therefore:
   ``--mem-tolerance`` band (default ±10%) around the baseline: a leak
   or an allocation-happy change fails, and so does a big *improvement*,
   which deserves a deliberate baseline refresh;
+* enforces each kernel's absolute ``budget_kib`` memory ceiling (the
+  machine-construction footprint budgets from
+  ``repro.harness.perf.MEM_BUDGETS_KIB``);
 * prints the wall-seconds / events-per-second deltas as an
   **informational** report only.
 
@@ -98,6 +101,27 @@ def mem_diffs(base_kernels: dict, cur_kernels: dict,
             )
 
 
+def budget_diffs(cur_kernels: dict) -> Iterator[str]:
+    """Yield a message per kernel over its absolute memory budget.
+
+    ``repro perf`` publishes each kernel's ceiling as ``budget_kib``
+    (from ``repro.harness.perf.MEM_BUDGETS_KIB``) and enforces it at
+    measurement time; re-checking here keeps the gate meaningful for
+    envelopes produced by older harnesses or edited by hand.
+    """
+    for name in sorted(cur_kernels):
+        kernel = cur_kernels[name]
+        budget = kernel.get("budget_kib")
+        peak = kernel.get("peak_alloc_kib")
+        if budget is None or peak is None:
+            continue
+        if peak > budget:
+            yield (
+                f"{name}.peak_alloc_kib: {peak} KiB exceeds its absolute "
+                f"budget of {budget} KiB"
+            )
+
+
 def wall_report(base_kernels: dict, cur_kernels: dict) -> List[str]:
     """Informational wall-clock comparison (never fails the gate)."""
     lines = ["wall-clock (informational; host-dependent, not gated):"]
@@ -176,6 +200,7 @@ def main(argv: List[str] | None = None) -> int:
         problems.append(f"{name}: kernel not in baseline (refresh it)")
     problems.extend(mem_diffs(base_kernels, cur_kernels,
                               args.mem_tolerance))
+    problems.extend(budget_diffs(cur_kernels))
 
     print("\n".join(wall_report(base_kernels, cur_kernels)))
     if args.update_baselines:
